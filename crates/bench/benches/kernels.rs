@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the hot kernels: intersection tests,
+//! k-buffer insertion, BVH construction, and cache lookups.
+
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use grtx_bvh::builder::{BuildPrim, BuilderConfig, build_wide_bvh};
+use grtx_math::intersect::{ray_sphere_unit, ray_triangle};
+use grtx_math::{Aabb, Ray, Vec3};
+use grtx_render::kbuffer::KBuffer;
+use grtx_sim::Cache;
+
+fn bench_intersections(c: &mut Criterion) {
+    let ray = Ray::new(Vec3::new(0.1, 0.2, -3.0), Vec3::new(0.05, 0.02, 1.0).normalized());
+    let aabb = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+    c.bench_function("ray_aabb", |b| b.iter(|| black_box(&aabb).intersect_ray(black_box(&ray))));
+    c.bench_function("ray_sphere_unit", |b| b.iter(|| ray_sphere_unit(black_box(&ray))));
+    let (v0, v1, v2) = (Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, -1.0, 0.0), Vec3::new(0.0, 1.5, 0.0));
+    c.bench_function("ray_triangle", |b| {
+        b.iter(|| ray_triangle(black_box(&ray), black_box(v0), black_box(v1), black_box(v2)))
+    });
+}
+
+fn bench_kbuffer(c: &mut Criterion) {
+    c.bench_function("kbuffer_insert_k16", |b| {
+        b.iter(|| {
+            let mut buf = KBuffer::new(16);
+            for i in 0..64u32 {
+                let t = ((i * 37) % 64) as f32;
+                black_box(buf.insert(t, i));
+            }
+            buf
+        })
+    });
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let prims: Vec<BuildPrim> = (0..4096)
+        .map(|i| {
+            let p = Vec3::new(
+                ((i * 131) % 97) as f32,
+                ((i * 17) % 89) as f32,
+                ((i * 7) % 101) as f32,
+            );
+            BuildPrim::from_aabb(Aabb::from_center_half_extent(p, Vec3::splat(0.4)))
+        })
+        .collect();
+    c.bench_function("bvh6_build_4k_prims", |b| {
+        b.iter(|| build_wide_bvh(black_box(&prims), &BuilderConfig::default()))
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache_access_stream", |b| {
+        let mut cache = Cache::new(128 * 1024, 128, 256);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 2862933555777941757).wrapping_add(3037000493) % (1 << 22);
+            cache.access(black_box(i * 128))
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_intersections, bench_kbuffer, bench_builder, bench_cache
+}
+criterion_main!(kernels);

@@ -1,0 +1,19 @@
+//! Table III: hardware cost of the GRTX-HW checkpointing extensions.
+
+use grtx::checkpoint_hw_cost_bytes;
+use grtx_bench::banner;
+use grtx_sim::GpuConfig;
+
+fn main() {
+    banner("Table III: GRTX-HW hardware cost", "Table III");
+    let gpu = GpuConfig::default();
+    let bytes = checkpoint_hw_cost_bytes(gpu.warp_size, gpu.warp_buffer_size);
+    println!("\nCheckpoint buffer information per RT core:");
+    println!(
+        "  (1-bit replay flag + 2 B src offset + 2 B dst offset) x {} threads/warp x {} warps",
+        gpu.warp_size, gpu.warp_buffer_size
+    );
+    println!("  + 8 B src address + 8 B dst address + 2 B max size");
+    println!("\nTotal: {:.2} KB per RT core (paper: 1.05 KB)", bytes / 1024.0);
+    assert!((bytes / 1024.0 - 1.05).abs() < 0.02, "Table III must reproduce");
+}

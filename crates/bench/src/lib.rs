@@ -1,0 +1,85 @@
+//! Shared support for the paper-reproduction bench harnesses.
+//!
+//! Every bench target regenerates one table or figure from the paper's
+//! evaluation section and prints the same rows/series the paper reports.
+//! Scene scale and resolution default to `GRTX_SCALE=40` (1/40 of the
+//! paper's Gaussian counts) and `GRTX_RES=96` for tractable wall-clock
+//! time; set the environment variables for higher-fidelity runs
+//! (`GRTX_SCALE=20 GRTX_RES=128` matches the paper's setup one-to-one,
+//! modulo the documented synthetic-scene substitution).
+
+use grtx::{PipelineVariant, RunOptions, SceneSetup};
+use grtx_scene::SceneKind;
+
+/// Seed used by all benches so every figure sees identical scenes.
+pub const BENCH_SEED: u64 = 42;
+
+/// Builds the six evaluation scenes at the env-configured scale.
+pub fn evaluation_scenes() -> Vec<SceneSetup> {
+    let divisor = SceneSetup::env_divisor();
+    let res = SceneSetup::env_resolution();
+    SceneKind::ALL
+        .iter()
+        .map(|&kind| SceneSetup::evaluation(kind, divisor, res, BENCH_SEED))
+        .collect()
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a figure/table banner with the run configuration.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref}; scale divisor {}, resolution {}x{})",
+        SceneSetup::env_divisor(),
+        SceneSetup::env_resolution(),
+        SceneSetup::env_resolution());
+    println!("================================================================");
+}
+
+/// Prints one row of named numeric columns.
+pub fn row(label: &str, columns: &[(&str, f64)]) {
+    print!("{label:<12}");
+    for (name, value) in columns {
+        print!("  {name}={value:<10.4}");
+    }
+    println!();
+}
+
+/// Default options (k = 16, Table I GPU) shared by most benches.
+pub fn default_options() -> RunOptions {
+    RunOptions::default()
+}
+
+/// The Fig. 13 variant lineup, re-exported for benches.
+pub fn fig13_variants() -> [PipelineVariant; 4] {
+    PipelineVariant::fig13_lineup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_identical_values_is_that_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        assert!((geomean(&[4.0, 0.25]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

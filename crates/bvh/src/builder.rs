@@ -1,0 +1,375 @@
+//! Binned-SAH wide-BVH construction.
+//!
+//! Standard top-down binned surface-area-heuristic build producing a
+//! binary tree, followed by a collapse into up-to-6-wide nodes — the same
+//! strategy Embree uses for its BVH-6 layout that the paper configures
+//! (Section V-A).
+
+use crate::wide::{ChildKind, MAX_WIDTH, WideBvh, WideChild, WideNode};
+use grtx_math::{Aabb, Vec3};
+
+/// Number of SAH bins per axis.
+const BIN_COUNT: usize = 16;
+
+/// Input primitive for BVH construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildPrim {
+    /// World-space bounds of the primitive.
+    pub aabb: Aabb,
+    /// Split reference point (usually the AABB center).
+    pub centroid: Vec3,
+}
+
+impl BuildPrim {
+    /// Creates a build primitive from an AABB, using its center as
+    /// centroid.
+    pub fn from_aabb(aabb: Aabb) -> Self {
+        Self { aabb, centroid: aabb.center() }
+    }
+}
+
+/// Build-time tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuilderConfig {
+    /// Leaves stop splitting at or below this primitive count.
+    pub max_leaf_size: usize,
+    /// SAH cost of traversing an interior node relative to one
+    /// intersection test.
+    pub traversal_cost: f32,
+}
+
+impl Default for BuilderConfig {
+    fn default() -> Self {
+        Self { max_leaf_size: 4, traversal_cost: 1.0 }
+    }
+}
+
+/// Builds a wide BVH over the given primitives.
+///
+/// Returns an empty BVH for an empty input.
+pub fn build_wide_bvh(prims: &[BuildPrim], config: &BuilderConfig) -> WideBvh {
+    if prims.is_empty() {
+        return WideBvh::default();
+    }
+    let mut indices: Vec<u32> = (0..prims.len() as u32).collect();
+    let mut arena = BinaryArena { nodes: Vec::with_capacity(prims.len() / 2 + 1) };
+    let root = build_binary(&mut arena, prims, &mut indices, 0, prims.len(), config);
+
+    let mut wide = WideBvh {
+        nodes: Vec::with_capacity(arena.nodes.len() / 3 + 1),
+        prim_order: indices,
+        root_aabb: arena.nodes[root].aabb,
+        height: 0,
+    };
+    if let BinaryKind::Leaf { start, count } = arena.nodes[root].kind {
+        // Degenerate single-leaf tree: wrap it in a one-child root node.
+        wide.nodes.push(WideNode {
+            children: vec![WideChild {
+                aabb: arena.nodes[root].aabb,
+                kind: ChildKind::Leaf { start, count },
+            }],
+        });
+        wide.height = 1;
+        return wide;
+    }
+    let (root_id, height) = collapse(&arena, root, &mut wide);
+    debug_assert_eq!(root_id, 0, "root must be node 0");
+    wide.height = height;
+    wide
+}
+
+struct BinaryNode {
+    aabb: Aabb,
+    kind: BinaryKind,
+}
+
+enum BinaryKind {
+    Leaf { start: u32, count: u32 },
+    Inner { left: usize, right: usize },
+}
+
+struct BinaryArena {
+    nodes: Vec<BinaryNode>,
+}
+
+/// Recursive binned-SAH binary build over `indices[start..start+count]`.
+/// Returns the arena id of the subtree root.
+fn build_binary(
+    arena: &mut BinaryArena,
+    prims: &[BuildPrim],
+    indices: &mut [u32],
+    start: usize,
+    count: usize,
+    config: &BuilderConfig,
+) -> usize {
+    let slice = &indices[start..start + count];
+    let mut aabb = Aabb::EMPTY;
+    let mut centroid_bounds = Aabb::EMPTY;
+    for &i in slice {
+        aabb = aabb.union(&prims[i as usize].aabb);
+        centroid_bounds.grow_point(prims[i as usize].centroid);
+    }
+
+    if count <= config.max_leaf_size {
+        return push_leaf(arena, aabb, start, count);
+    }
+
+    let split = find_best_split(prims, slice, &centroid_bounds);
+    let mid = match split {
+        Some((axis, threshold)) => {
+            let mid = partition(prims, &mut indices[start..start + count], axis, threshold);
+            if mid == 0 || mid == count {
+                count / 2 // Binning degenerated; fall back to median.
+            } else {
+                mid
+            }
+        }
+        // All centroids coincide: split down the middle so construction
+        // terminates even for pathological input.
+        None => count / 2,
+    };
+
+    let left = build_binary(arena, prims, indices, start, mid, config);
+    let right = build_binary(arena, prims, indices, start + mid, count - mid, config);
+    arena.nodes.push(BinaryNode { aabb, kind: BinaryKind::Inner { left, right } });
+    arena.nodes.len() - 1
+}
+
+fn push_leaf(arena: &mut BinaryArena, aabb: Aabb, start: usize, count: usize) -> usize {
+    arena.nodes.push(BinaryNode {
+        aabb,
+        kind: BinaryKind::Leaf { start: start as u32, count: count as u32 },
+    });
+    arena.nodes.len() - 1
+}
+
+/// Finds the SAH-minimal `(axis, centroid threshold)` over binned
+/// candidate splits, or `None` when the centroid bounds are degenerate.
+fn find_best_split(prims: &[BuildPrim], slice: &[u32], centroid_bounds: &Aabb) -> Option<(usize, f32)> {
+    let extent = centroid_bounds.extent();
+    if extent.max_element() <= 0.0 {
+        return None;
+    }
+    let mut best: Option<(usize, f32, f32)> = None; // (axis, threshold, cost)
+    for axis in 0..3 {
+        let axis_extent = extent[axis];
+        if axis_extent <= 0.0 {
+            continue;
+        }
+        let origin = centroid_bounds.min[axis];
+        let scale = BIN_COUNT as f32 / axis_extent;
+
+        let mut bin_aabbs = [Aabb::EMPTY; BIN_COUNT];
+        let mut bin_counts = [0usize; BIN_COUNT];
+        for &i in slice {
+            let p = &prims[i as usize];
+            let b = (((p.centroid[axis] - origin) * scale) as usize).min(BIN_COUNT - 1);
+            bin_aabbs[b] = bin_aabbs[b].union(&p.aabb);
+            bin_counts[b] += 1;
+        }
+
+        // Sweep from the right to precompute suffix areas/counts.
+        let mut right_area = [0.0f32; BIN_COUNT];
+        let mut right_count = [0usize; BIN_COUNT];
+        let mut acc = Aabb::EMPTY;
+        let mut cnt = 0;
+        for b in (1..BIN_COUNT).rev() {
+            acc = acc.union(&bin_aabbs[b]);
+            cnt += bin_counts[b];
+            right_area[b] = acc.surface_area();
+            right_count[b] = cnt;
+        }
+        // Sweep from the left evaluating each split.
+        let mut left_acc = Aabb::EMPTY;
+        let mut left_cnt = 0usize;
+        for b in 0..BIN_COUNT - 1 {
+            left_acc = left_acc.union(&bin_aabbs[b]);
+            left_cnt += bin_counts[b];
+            if left_cnt == 0 || right_count[b + 1] == 0 {
+                continue;
+            }
+            let cost = left_acc.surface_area() * left_cnt as f32
+                + right_area[b + 1] * right_count[b + 1] as f32;
+            if best.map_or(true, |(_, _, c)| cost < c) {
+                let threshold = origin + (b + 1) as f32 / scale;
+                best = Some((axis, threshold, cost));
+            }
+        }
+    }
+    best.map(|(axis, threshold, _)| (axis, threshold))
+}
+
+/// In-place partition by centroid threshold; returns the left-side count.
+fn partition(prims: &[BuildPrim], slice: &mut [u32], axis: usize, threshold: f32) -> usize {
+    let mut left = 0;
+    let mut right = slice.len();
+    while left < right {
+        if prims[slice[left] as usize].centroid[axis] < threshold {
+            left += 1;
+        } else {
+            right -= 1;
+            slice.swap(left, right);
+        }
+    }
+    left
+}
+
+/// Collapses a binary subtree into wide nodes; returns `(wide node id,
+/// subtree height)`.
+fn collapse(arena: &BinaryArena, root: usize, out: &mut WideBvh) -> (u32, u32) {
+    // Gather up to MAX_WIDTH subtree roots by repeatedly expanding the
+    // interior child with the largest surface area (the standard
+    // SAH-greedy collapse).
+    let mut slots: Vec<usize> = Vec::with_capacity(MAX_WIDTH);
+    match arena.nodes[root].kind {
+        BinaryKind::Inner { left, right } => {
+            slots.push(left);
+            slots.push(right);
+        }
+        BinaryKind::Leaf { .. } => unreachable!("collapse called on a leaf"),
+    }
+    loop {
+        if slots.len() >= MAX_WIDTH {
+            break;
+        }
+        let expandable = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, &id)| matches!(arena.nodes[id].kind, BinaryKind::Inner { .. }))
+            .max_by(|(_, &a), (_, &b)| {
+                arena.nodes[a]
+                    .aabb
+                    .surface_area()
+                    .total_cmp(&arena.nodes[b].aabb.surface_area())
+            })
+            .map(|(i, _)| i);
+        let Some(i) = expandable else { break };
+        let id = slots.swap_remove(i);
+        match arena.nodes[id].kind {
+            BinaryKind::Inner { left, right } => {
+                slots.push(left);
+                slots.push(right);
+            }
+            BinaryKind::Leaf { .. } => unreachable!(),
+        }
+    }
+
+    // Reserve our node id before recursing so the root lands at index 0.
+    let my_id = out.nodes.len() as u32;
+    out.nodes.push(WideNode { children: Vec::with_capacity(slots.len()) });
+
+    let mut children = Vec::with_capacity(slots.len());
+    let mut max_child_height = 0;
+    for id in slots {
+        let node = &arena.nodes[id];
+        let child = match node.kind {
+            BinaryKind::Leaf { start, count } => {
+                max_child_height = max_child_height.max(1);
+                WideChild { aabb: node.aabb, kind: ChildKind::Leaf { start, count } }
+            }
+            BinaryKind::Inner { .. } => {
+                let (child_id, h) = collapse(arena, id, out);
+                max_child_height = max_child_height.max(h);
+                WideChild { aabb: node.aabb, kind: ChildKind::Node(child_id) }
+            }
+        };
+        children.push(child);
+    }
+    out.nodes[my_id as usize].children = children;
+    (my_id, max_child_height + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_prims(n: usize) -> Vec<BuildPrim> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f32;
+                let y = ((i / 10) % 10) as f32;
+                let z = (i / 100) as f32;
+                BuildPrim::from_aabb(Aabb::from_center_half_extent(
+                    Vec3::new(x, y, z),
+                    Vec3::splat(0.3),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_builds_empty_bvh() {
+        let bvh = build_wide_bvh(&[], &BuilderConfig::default());
+        assert_eq!(bvh.node_count(), 0);
+        assert_eq!(bvh.prim_count(), 0);
+    }
+
+    #[test]
+    fn single_prim_builds_single_leaf_root() {
+        let prims = grid_prims(1);
+        let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+        assert_eq!(bvh.node_count(), 1);
+        assert_eq!(bvh.prim_count(), 1);
+        assert_eq!(bvh.height, 1);
+    }
+
+    #[test]
+    fn structure_is_valid_for_grid() {
+        let prims = grid_prims(500);
+        let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+        let aabbs: Vec<Aabb> = prims.iter().map(|p| p.aabb).collect();
+        bvh.validate(&aabbs, 1e-4).expect("valid BVH");
+    }
+
+    #[test]
+    fn all_nodes_within_width() {
+        let prims = grid_prims(1000);
+        let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+        for n in &bvh.nodes {
+            assert!(!n.children.is_empty() && n.children.len() <= MAX_WIDTH);
+        }
+    }
+
+    #[test]
+    fn coincident_centroids_terminate() {
+        let prims: Vec<BuildPrim> = (0..64)
+            .map(|_| BuildPrim::from_aabb(Aabb::from_center_half_extent(Vec3::ONE, Vec3::splat(0.5))))
+            .collect();
+        let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+        assert_eq!(bvh.prim_count(), 64);
+        let aabbs: Vec<Aabb> = prims.iter().map(|p| p.aabb).collect();
+        bvh.validate(&aabbs, 1e-4).expect("valid BVH");
+    }
+
+    #[test]
+    fn height_grows_sublinearly() {
+        let prims = grid_prims(1000);
+        let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+        // 1000 prims, width 6, max leaf 4: height should be well under 12.
+        assert!(bvh.height <= 12, "height {} too large", bvh.height);
+        assert!(bvh.height >= 3);
+    }
+
+    #[test]
+    fn max_leaf_size_respected() {
+        let prims = grid_prims(300);
+        let config = BuilderConfig { max_leaf_size: 2, ..Default::default() };
+        let bvh = build_wide_bvh(&prims, &config);
+        for n in &bvh.nodes {
+            for c in &n.children {
+                if let ChildKind::Leaf { count, .. } = c.kind {
+                    assert!(count <= 2, "leaf with {count} prims");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_aabb_covers_all_prims() {
+        let prims = grid_prims(200);
+        let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+        for p in &prims {
+            assert!(bvh.root_aabb.contains_box(&p.aabb, 1e-4));
+        }
+    }
+}

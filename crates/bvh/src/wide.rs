@@ -1,0 +1,162 @@
+//! Wide (up to 6-ary) BVH node representation.
+//!
+//! The paper builds its structures with "Intel Embree, specifically
+//! employing a BVH-6 configuration that supports up to six children per
+//! node" (Section V-A). A wide node stores the AABBs of *all* children, so
+//! one node fetch feeds up to six ray–box tests — exactly how the RT unit
+//! consumes memory.
+
+use grtx_math::Aabb;
+
+/// Maximum children per node (Embree BVH-6).
+pub const MAX_WIDTH: usize = 6;
+
+/// Reference from a node to one child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildKind {
+    /// Interior child: index into [`WideBvh::nodes`].
+    Node(u32),
+    /// Leaf child: a range of [`WideBvh::prim_order`].
+    Leaf {
+        /// First index into `prim_order`.
+        start: u32,
+        /// Number of primitives.
+        count: u32,
+    },
+}
+
+/// One child slot of a wide node: bounding box plus reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideChild {
+    /// Child bounds (tested by the parent's node fetch).
+    pub aabb: Aabb,
+    /// Where the child leads.
+    pub kind: ChildKind,
+}
+
+/// An interior node holding 2..=6 children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideNode {
+    /// The child slots (never empty for a well-formed BVH).
+    pub children: Vec<WideChild>,
+}
+
+/// A wide BVH over an abstract primitive array.
+///
+/// The BVH does not own primitive data; leaves index into `prim_order`,
+/// which maps to caller-side primitive ids. Node 0 is the root (for
+/// non-empty inputs).
+#[derive(Debug, Clone, Default)]
+pub struct WideBvh {
+    /// Interior nodes; index 0 is the root.
+    pub nodes: Vec<WideNode>,
+    /// Primitive ids in leaf-contiguous order.
+    pub prim_order: Vec<u32>,
+    /// Bounds of the whole tree.
+    pub root_aabb: Aabb,
+    /// Number of node levels from root to deepest leaf (a single-node
+    /// tree has height 1).
+    pub height: u32,
+}
+
+impl WideBvh {
+    /// Number of interior nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf ranges across all nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| &n.children)
+            .filter(|c| matches!(c.kind, ChildKind::Leaf { .. }))
+            .count()
+    }
+
+    /// Number of primitives referenced.
+    pub fn prim_count(&self) -> usize {
+        self.prim_order.len()
+    }
+
+    /// Checks structural invariants, returning a description of the first
+    /// violation. Used by tests; `eps` is the allowed float slack on
+    /// parent/child containment.
+    pub fn validate(&self, prim_aabbs: &[Aabb], eps: f32) -> Result<(), String> {
+        if self.prim_order.is_empty() {
+            return if self.nodes.is_empty() {
+                Ok(())
+            } else {
+                Err("empty prim set but non-empty nodes".into())
+            };
+        }
+        // Every primitive referenced exactly once.
+        let mut seen = vec![false; prim_aabbs.len()];
+        for &p in &self.prim_order {
+            let p = p as usize;
+            if p >= seen.len() {
+                return Err(format!("prim id {p} out of range"));
+            }
+            if seen[p] {
+                return Err(format!("prim id {p} referenced twice"));
+            }
+            seen[p] = true;
+        }
+        if self.prim_order.len() != prim_aabbs.len() {
+            return Err(format!(
+                "prim_order covers {} of {} prims",
+                self.prim_order.len(),
+                prim_aabbs.len()
+            ));
+        }
+        // Recursive containment + width checks.
+        self.validate_node(0, &self.root_aabb, prim_aabbs, eps, &mut vec![false; self.nodes.len()])
+    }
+
+    fn validate_node(
+        &self,
+        node: u32,
+        bound: &Aabb,
+        prim_aabbs: &[Aabb],
+        eps: f32,
+        visited: &mut Vec<bool>,
+    ) -> Result<(), String> {
+        let idx = node as usize;
+        if idx >= self.nodes.len() {
+            return Err(format!("node id {node} out of range"));
+        }
+        if visited[idx] {
+            return Err(format!("node {node} reachable twice (not a tree)"));
+        }
+        visited[idx] = true;
+        let n = &self.nodes[idx];
+        if n.children.is_empty() || n.children.len() > MAX_WIDTH {
+            return Err(format!("node {node} has {} children", n.children.len()));
+        }
+        for child in &n.children {
+            if !bound.contains_box(&child.aabb, eps) {
+                return Err(format!("child of node {node} escapes parent bounds"));
+            }
+            match child.kind {
+                ChildKind::Node(c) => {
+                    self.validate_node(c, &child.aabb, prim_aabbs, eps, visited)?
+                }
+                ChildKind::Leaf { start, count } => {
+                    if count == 0 {
+                        return Err(format!("empty leaf under node {node}"));
+                    }
+                    let (s, c) = (start as usize, count as usize);
+                    if s + c > self.prim_order.len() {
+                        return Err(format!("leaf range {s}+{c} out of bounds"));
+                    }
+                    for &p in &self.prim_order[s..s + c] {
+                        if !child.aabb.contains_box(&prim_aabbs[p as usize], eps) {
+                            return Err(format!("prim {p} escapes its leaf bounds"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,307 @@
+//! The experiment layer: named pipeline variants and scene setups that
+//! map one-to-one onto the paper's figures.
+
+use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+use grtx_render::renderer::{RenderConfig, RenderReport, render_simulated};
+use grtx_render::tracer::{KBufferStorage, TraceMode, TraceParams};
+use grtx_scene::profile::DEFAULT_SCALE_DIVISOR;
+use grtx_scene::synth::generate_scene;
+use grtx_scene::{Camera, EffectObjects, GaussianScene, SceneKind, SceneProfile};
+use grtx_sim::GpuConfig;
+
+/// One named acceleration/hardware configuration from the paper's
+/// evaluation (Figs. 12, 13, 22, 24).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineVariant {
+    /// Display name used in experiment tables.
+    pub name: &'static str,
+    /// Bounding proxy for Gaussians.
+    pub primitive: BoundingPrimitive,
+    /// Two-level (TLAS + shared BLAS) vs monolithic organization.
+    pub two_level: bool,
+    /// GRTX-HW traversal checkpointing + eviction buffer.
+    pub checkpointing: bool,
+}
+
+impl PipelineVariant {
+    /// 3DGRT baseline: monolithic BVH over stretched icosahedra.
+    pub fn baseline() -> Self {
+        Self { name: "Baseline", primitive: BoundingPrimitive::Mesh20, two_level: false, checkpointing: false }
+    }
+
+    /// Condor et al. baseline: monolithic BVH over 80-triangle icospheres.
+    pub fn baseline_80() -> Self {
+        Self { name: "80-tri", primitive: BoundingPrimitive::Mesh80, two_level: false, checkpointing: false }
+    }
+
+    /// EVER/RayGauss-style custom primitive: one software ellipsoid per
+    /// Gaussian (Fig. 5).
+    pub fn custom_primitive() -> Self {
+        Self {
+            name: "Custom Gaussian",
+            primitive: BoundingPrimitive::CustomEllipsoid,
+            two_level: false,
+            checkpointing: false,
+        }
+    }
+
+    /// GRTX-SW: TLAS + shared 20-triangle BLAS.
+    pub fn grtx_sw() -> Self {
+        Self { name: "GRTX-SW", primitive: BoundingPrimitive::Mesh20, two_level: true, checkpointing: false }
+    }
+
+    /// GRTX-SW with the 80-triangle shared BLAS (Fig. 12 "TLAS+80-tri").
+    pub fn grtx_sw_80() -> Self {
+        Self { name: "TLAS+80-tri", primitive: BoundingPrimitive::Mesh80, two_level: true, checkpointing: false }
+    }
+
+    /// GRTX-SW with the hardware sphere primitive (Fig. 22).
+    pub fn grtx_sw_sphere() -> Self {
+        Self { name: "TLAS+sphere", primitive: BoundingPrimitive::UnitSphere, two_level: true, checkpointing: false }
+    }
+
+    /// GRTX-HW: baseline structure plus traversal checkpointing only.
+    pub fn grtx_hw() -> Self {
+        Self { name: "GRTX-HW", primitive: BoundingPrimitive::Mesh20, two_level: false, checkpointing: true }
+    }
+
+    /// Full GRTX: shared-BLAS structure plus checkpointing.
+    pub fn grtx() -> Self {
+        Self { name: "GRTX", primitive: BoundingPrimitive::Mesh20, two_level: true, checkpointing: true }
+    }
+
+    /// The four-variant lineup of Fig. 13.
+    pub fn fig13_lineup() -> [Self; 4] {
+        [Self::baseline(), Self::grtx_sw(), Self::grtx_hw(), Self::grtx()]
+    }
+}
+
+/// Per-run knobs shared by all experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// k-buffer capacity.
+    pub k: usize,
+    /// Use single-round tracing instead of multi-round (Fig. 6a).
+    pub single_round: bool,
+    /// GPU configuration (Table I by default; `GpuConfig::amd_like()`
+    /// for Fig. 24).
+    pub gpu: GpuConfig,
+    /// Structure byte layout (NVIDIA-like default, `LayoutConfig::amd()`
+    /// for Fig. 24). Applied at build time via [`SceneSetup::run`].
+    pub layout_amd: bool,
+    /// Charge any-hit sorting cycles (Fig. 4b isolation).
+    pub charge_sorting: bool,
+    /// Charge blending cycles (Fig. 4b isolation).
+    pub charge_blending: bool,
+    /// k-buffer storage discipline (Fig. 21).
+    pub storage: KBufferStorage,
+    /// Add the glass sphere + mirror objects and trace secondary rays
+    /// (Fig. 23); the value is the placement seed.
+    pub effects_seed: Option<u64>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            single_round: false,
+            gpu: GpuConfig::default(),
+            layout_amd: false,
+            charge_sorting: true,
+            charge_blending: true,
+            storage: KBufferStorage::GlobalSoA,
+            effects_seed: None,
+        }
+    }
+}
+
+/// Everything an experiment row needs from one run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The simulated render report (time, caches, fetches, image).
+    pub report: RenderReport,
+    /// Acceleration-structure byte accounting at the generated scale.
+    pub size: BvhSizeReport,
+    /// Structure height.
+    pub height: u32,
+    /// Factor to extrapolate sizes to paper scale
+    /// (`full_gaussian_count / generated count`).
+    pub scale_factor: f64,
+}
+
+/// A generated scene plus its evaluation camera, reused across variants.
+#[derive(Debug)]
+pub struct SceneSetup {
+    /// Which paper scene this mimics.
+    pub kind: SceneKind,
+    /// The profile the scene was generated from.
+    pub profile: SceneProfile,
+    /// The synthetic Gaussians.
+    pub scene: GaussianScene,
+    /// The evaluation camera.
+    pub camera: Camera,
+    /// Scene-scale divisor used for cache scaling.
+    pub divisor: usize,
+}
+
+impl SceneSetup {
+    /// Builds the paper's evaluation setup for a scene: Gaussian count
+    /// scaled down by `divisor`, rendered at `resolution`² with the
+    /// original FoV (Section V-A renders at 128×128 preserving FoV).
+    pub fn evaluation(kind: SceneKind, divisor: usize, resolution: u32, seed: u64) -> Self {
+        let base = kind.profile();
+        let budget = (base.full_gaussian_count / divisor.max(1)).max(1);
+        let profile = base.with_gaussian_budget(budget).with_resolution(resolution, resolution);
+        Self::from_profile(kind, profile, divisor, seed)
+    }
+
+    /// Builds a setup from an explicit profile (custom resolutions/FoVs,
+    /// Fig. 19).
+    pub fn from_profile(kind: SceneKind, profile: SceneProfile, divisor: usize, seed: u64) -> Self {
+        let scene = generate_scene(profile.clone(), seed);
+        let camera = Camera::for_profile(&profile);
+        Self { kind, profile, scene, camera, divisor }
+    }
+
+    /// The default evaluation scale divisor, overridable with the
+    /// `GRTX_SCALE` environment variable (benches use this to trade
+    /// fidelity for wall-clock time).
+    pub fn env_divisor() -> usize {
+        std::env::var("GRTX_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SCALE_DIVISOR * 2)
+    }
+
+    /// Default evaluation resolution, overridable with `GRTX_RES`.
+    pub fn env_resolution() -> u32 {
+        std::env::var("GRTX_RES").ok().and_then(|v| v.parse().ok()).unwrap_or(96)
+    }
+
+    /// Builds the acceleration structure for a variant.
+    pub fn build_accel(&self, variant: &PipelineVariant, layout: &LayoutConfig) -> AccelStruct {
+        AccelStruct::build(&self.scene, variant.primitive, variant.two_level, layout)
+    }
+
+    /// Runs one full simulated render for `(variant, options)`.
+    pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
+        let layout = if options.layout_amd { LayoutConfig::amd() } else { LayoutConfig::default() };
+        let accel = self.build_accel(variant, &layout);
+        self.run_with_accel(&accel, variant, options)
+    }
+
+    /// Runs with a pre-built structure (lets benches reuse expensive
+    /// builds across parameter sweeps).
+    pub fn run_with_accel(
+        &self,
+        accel: &AccelStruct,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+    ) -> ExperimentResult {
+        let mode = if options.single_round {
+            TraceMode::SingleRound
+        } else if variant.checkpointing {
+            TraceMode::MultiRoundCheckpoint
+        } else {
+            TraceMode::MultiRoundRestart
+        };
+        let config = RenderConfig {
+            params: TraceParams {
+                k: options.k,
+                mode,
+                storage: options.storage,
+                ..Default::default()
+            },
+            charge_sorting: options.charge_sorting,
+            charge_blending: options.charge_blending,
+            ..Default::default()
+        };
+        let gpu = options.gpu.clone().with_cache_scale(self.divisor);
+        let effects = options.effects_seed.map(|s| EffectObjects::place_in(self.profile.half_extent, s));
+        let report =
+            render_simulated(accel, &self.scene, &self.camera, effects.as_ref(), &config, gpu);
+        ExperimentResult {
+            report,
+            size: *accel.size_report(),
+            height: accel.height(),
+            scale_factor: self.profile.full_gaussian_count as f64 / self.scene.len().max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup() -> SceneSetup {
+        SceneSetup::evaluation(SceneKind::Room, 2000, 24, 11)
+    }
+
+    #[test]
+    fn variants_have_distinct_configurations() {
+        let lineup = PipelineVariant::fig13_lineup();
+        assert_eq!(lineup[0].name, "Baseline");
+        assert!(!lineup[0].two_level && !lineup[0].checkpointing);
+        assert!(lineup[1].two_level && !lineup[1].checkpointing);
+        assert!(!lineup[2].two_level && lineup[2].checkpointing);
+        assert!(lineup[3].two_level && lineup[3].checkpointing);
+    }
+
+    #[test]
+    fn run_produces_consistent_result() {
+        let setup = tiny_setup();
+        let r = setup.run(&PipelineVariant::grtx_sw(), &RunOptions::default());
+        assert!(r.report.time_ms > 0.0);
+        assert!(r.size.total_bytes > 0);
+        assert!(r.height >= 2);
+        assert!(r.scale_factor > 1.0);
+    }
+
+    #[test]
+    fn all_variants_render_identical_images() {
+        // The paper's implicit correctness claim: none of the structure
+        // or hardware changes alter rendering output. Checkpointing is
+        // bitwise invisible; across structure organizations the triangle
+        // arithmetic differs in rounding only (high PSNR).
+        let setup = tiny_setup();
+        let opts = RunOptions { k: 8, ..Default::default() };
+        let images: Vec<_> = PipelineVariant::fig13_lineup()
+            .iter()
+            .map(|v| setup.run(v, &opts).report.image)
+            .collect();
+        assert_eq!(images[0].psnr(&images[2]), f64::INFINITY, "HW vs baseline must be bitwise");
+        assert_eq!(images[1].psnr(&images[3]), f64::INFINITY, "GRTX vs SW must be bitwise");
+        assert!(images[0].psnr(&images[1]) > 50.0, "cross-structure divergence");
+    }
+
+    #[test]
+    fn grtx_beats_baseline_end_to_end() {
+        let setup = tiny_setup();
+        let opts = RunOptions::default();
+        let base = setup.run(&PipelineVariant::baseline(), &opts);
+        let grtx = setup.run(&PipelineVariant::grtx(), &opts);
+        assert!(
+            grtx.report.time_ms < base.report.time_ms,
+            "GRTX {} ms should beat baseline {} ms",
+            grtx.report.time_ms,
+            base.report.time_ms
+        );
+        assert!(grtx.size.total_bytes < base.size.total_bytes / 2);
+    }
+
+    #[test]
+    fn env_overrides_have_sane_defaults() {
+        assert!(SceneSetup::env_divisor() >= 1);
+        assert!(SceneSetup::env_resolution() >= 16);
+    }
+
+    #[test]
+    fn effects_seed_adds_secondary_rays_or_none() {
+        let setup = tiny_setup();
+        let opts = RunOptions { effects_seed: Some(5), ..Default::default() };
+        let r = setup.run(&PipelineVariant::baseline(), &opts);
+        // Placement is random; either outcome is legal but the run must
+        // complete with a valid report.
+        assert!(r.report.time_ms > 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # GRTX — Efficient Ray Tracing for 3D Gaussian-Based Rendering
+//!
+//! A full reproduction of the HPCA 2026 paper *"GRTX: Efficient Ray
+//! Tracing for 3D Gaussian-Based Rendering"* (Lee et al.): a software +
+//! hardware co-design that accelerates 3DGRT-style Gaussian ray tracing
+//! with
+//!
+//! 1. **GRTX-SW** — a two-level acceleration structure whose TLAS leaves
+//!    are per-Gaussian instances all sharing **one** template BLAS
+//!    (anisotropic Gaussians become unit spheres under the instance
+//!    transform), shrinking the BVH ~10× and making the BLAS L1-resident;
+//! 2. **GRTX-HW** — RT-core **traversal checkpointing and replay**:
+//!    multi-round k-buffer tracing resumes from checkpointed nodes
+//!    instead of the root, eliminating redundant node fetches, plus an
+//!    eviction buffer that recycles k-buffer rejects.
+//!
+//! The crate re-exports the substrates (`grtx-math`, `grtx-scene`,
+//! `grtx-bvh`, `grtx-sim`, `grtx-render`) and adds the experiment layer
+//! used by the paper-reproduction benches.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grtx::{PipelineVariant, RunOptions, SceneSetup};
+//! use grtx_scene::SceneKind;
+//!
+//! // A miniature Train-statistics scene at 32×32 for doc-test speed.
+//! let setup = SceneSetup::evaluation(SceneKind::Train, 2000, 32, 42);
+//! let result = setup.run(&PipelineVariant::grtx(), &RunOptions::default());
+//! assert!(result.report.time_ms > 0.0);
+//! assert!(result.report.image.mean_luminance() > 0.0);
+//! ```
+
+pub mod experiment;
+
+pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup};
+
+pub use grtx_bvh::{AccelStruct, BoundingPrimitive, LayoutConfig};
+pub use grtx_render::{
+    Image, RenderConfig, RenderReport, TraceMode, TraceParams, render_rasterized,
+};
+pub use grtx_scene::{Camera, CameraModel, EffectObjects, Gaussian, GaussianScene, SceneKind};
+pub use grtx_sim::{GpuConfig, checkpoint_hw_cost_bytes};

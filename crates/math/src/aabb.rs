@@ -1,0 +1,236 @@
+//! Axis-aligned bounding boxes.
+
+use crate::ray::Ray;
+use crate::vec::Vec3;
+
+/// An axis-aligned bounding box, the node volume of every BVH level in the
+/// paper (both the monolithic BVH and the TLAS/BLAS hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An empty box (min = +inf, max = -inf); the identity for
+    /// [`Aabb::union`].
+    pub const EMPTY: Self = Self {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Creates a box from its corners.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        Self { min, max }
+    }
+
+    /// Creates a box centered at `center` with half-extent `half` in each
+    /// axis.
+    pub fn from_center_half_extent(center: Vec3, half: Vec3) -> Self {
+        Self::new(center - half, center + half)
+    }
+
+    /// `true` if the box contains no points (any `min > max`).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Smallest box containing both operands.
+    pub fn union(&self, other: &Self) -> Self {
+        Self::new(self.min.min(other.min), self.max.max(other.max))
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn grow_point(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Box center.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Box diagonal (`max - min`).
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Surface area, the SAH cost metric used by the BVH builder.
+    /// Empty boxes have zero area.
+    pub fn surface_area(&self) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// `true` if `other` lies entirely inside `self` (within `eps` slack).
+    ///
+    /// This is the structural BVH invariant — each parent node spatially
+    /// encloses its children — checked by the property tests.
+    pub fn contains_box(&self, other: &Self, eps: f32) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.min.x <= other.min.x + eps
+            && self.min.y <= other.min.y + eps
+            && self.min.z <= other.min.z + eps
+            && self.max.x >= other.max.x - eps
+            && self.max.y >= other.max.y - eps
+            && self.max.z >= other.max.z - eps
+    }
+
+    /// `true` if `p` is inside the box (inclusive).
+    pub fn contains_point(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.y >= self.min.y
+            && p.z >= self.min.z
+            && p.x <= self.max.x
+            && p.y <= self.max.y
+            && p.z <= self.max.z
+    }
+
+    /// Slab-based ray–box test, the operation of the RT unit's ray–box
+    /// intersection pipeline.
+    ///
+    /// Returns the `[t_enter, t_exit]` span clipped to `[0, ∞)`, or `None`
+    /// if the ray misses. A ray starting inside the box reports
+    /// `t_enter = 0`.
+    pub fn intersect_ray(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let t0 = (self.min - ray.origin).mul_elem(ray.inv_direction);
+        let t1 = (self.max - ray.origin).mul_elem(ray.inv_direction);
+        let t_near = t0.min(t1);
+        let t_far = t0.max(t1);
+        let t_enter = t_near.max_element().max(0.0);
+        let t_exit = t_far.min_element();
+        if t_enter <= t_exit {
+            Some((t_enter, t_exit))
+        } else {
+            None
+        }
+    }
+
+    /// Transforms the box by an affine map and returns the enclosing AABB
+    /// of the result (the standard "transform the eight corners" bound).
+    pub fn transformed(&self, linear: &crate::mat::Mat3, translation: Vec3) -> Self {
+        let mut out = Self::EMPTY;
+        for i in 0..8 {
+            let corner = Vec3::new(
+                if i & 1 == 0 { self.min.x } else { self.max.x },
+                if i & 2 == 0 { self.min.y } else { self.max.y },
+                if i & 4 == 0 { self.min.z } else { self.max.z },
+            );
+            out.grow_point(linear.mul_vec3(corner) + translation);
+        }
+        out
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat3;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn empty_box_is_empty() {
+        assert!(Aabb::EMPTY.is_empty());
+        assert_eq!(Aabb::EMPTY.surface_area(), 0.0);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let b = unit_box();
+        assert_eq!(b.union(&Aabb::EMPTY), b);
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.surface_area(), 6.0);
+    }
+
+    #[test]
+    fn ray_through_center_hits() {
+        let b = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let (t_enter, t_exit) = b.intersect_ray(&r).expect("hit");
+        assert!((t_enter - 4.0).abs() < 1e-6);
+        assert!((t_exit - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_misses_offset_box() {
+        let b = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&r).is_none());
+    }
+
+    #[test]
+    fn ray_starting_inside_enters_at_zero() {
+        let b = unit_box();
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let (t_enter, t_exit) = b.intersect_ray(&r).expect("hit");
+        assert_eq!(t_enter, 0.0);
+        assert!((t_exit - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ray_pointing_away_misses() {
+        let b = unit_box();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), -Vec3::Z);
+        assert!(b.intersect_ray(&r).is_none());
+    }
+
+    #[test]
+    fn axis_parallel_ray_inside_slab_hits() {
+        let b = unit_box();
+        // Direction has a zero component; slab arithmetic must handle the
+        // resulting infinities.
+        let r = Ray::new(Vec3::new(0.5, 0.5, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&r).is_some());
+        let r_outside = Ray::new(Vec3::new(2.0, 0.5, -5.0), Vec3::Z);
+        assert!(b.intersect_ray(&r_outside).is_none());
+    }
+
+    #[test]
+    fn contains_box_accepts_children() {
+        let parent = unit_box();
+        let child = Aabb::new(Vec3::splat(-0.5), Vec3::splat(0.5));
+        assert!(parent.contains_box(&child, 0.0));
+        assert!(!child.contains_box(&parent, 0.0));
+    }
+
+    #[test]
+    fn transformed_contains_all_transformed_points() {
+        let b = unit_box();
+        let linear = Mat3::from_diagonal(Vec3::new(2.0, 0.5, 1.0));
+        let t = Vec3::new(1.0, 2.0, 3.0);
+        let tb = b.transformed(&linear, t);
+        for p in [Vec3::splat(-1.0), Vec3::splat(1.0), Vec3::new(1.0, -1.0, 0.3)] {
+            assert!(tb.contains_point(linear.mul_vec3(p) + t));
+        }
+    }
+
+    #[test]
+    fn grow_point_expands() {
+        let mut b = Aabb::EMPTY;
+        b.grow_point(Vec3::ONE);
+        b.grow_point(-Vec3::ONE);
+        assert_eq!(b, unit_box());
+    }
+}

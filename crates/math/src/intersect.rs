@@ -1,0 +1,238 @@
+//! Ray–primitive intersection routines.
+//!
+//! These correspond one-to-one with the fixed-function intersection units in
+//! the paper's RT core model: ray–triangle (all RT generations), ray–sphere
+//! (Blackwell-class hardware, Section VI), and the software custom-primitive
+//! (ellipsoid) test that runs in a user-defined intersection shader.
+
+use crate::ray::Ray;
+use crate::vec::Vec3;
+
+/// A hit against a convex primitive, reporting the entry/exit distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanHit {
+    /// Distance at which the ray enters the primitive (clamped to 0 when
+    /// the origin is inside).
+    pub t_enter: f32,
+    /// Distance at which the ray exits.
+    pub t_exit: f32,
+}
+
+/// A hit against a surface primitive (triangle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceHit {
+    /// Hit distance along the ray.
+    pub t: f32,
+    /// Barycentric `u` coordinate.
+    pub u: f32,
+    /// Barycentric `v` coordinate.
+    pub v: f32,
+}
+
+/// Ray–unit-sphere test (sphere of radius 1 centered at the origin).
+///
+/// This is the intersection the shared BLAS performs after the TLAS leaf
+/// transforms the ray into Gaussian-local space: the anisotropic ellipsoid
+/// becomes exactly the unit sphere, so the test has no false positives.
+///
+/// Returns `None` if the ray misses or the sphere is entirely behind the
+/// origin.
+pub fn ray_sphere_unit(ray: &Ray) -> Option<SpanHit> {
+    // |o + t d|^2 = 1  =>  (d.d) t^2 + 2 (o.d) t + (o.o - 1) = 0
+    let a = ray.direction.dot(ray.direction);
+    let half_b = ray.origin.dot(ray.direction);
+    let c = ray.origin.dot(ray.origin) - 1.0;
+    let disc = half_b * half_b - a * c;
+    if disc < 0.0 || a == 0.0 {
+        return None;
+    }
+    let sqrt_disc = disc.sqrt();
+    let t0 = (-half_b - sqrt_disc) / a;
+    let t1 = (-half_b + sqrt_disc) / a;
+    if t1 < 0.0 {
+        return None;
+    }
+    Some(SpanHit { t_enter: t0.max(0.0), t_exit: t1 })
+}
+
+/// Ray–sphere test against a sphere of radius `radius` centered at
+/// `center`, used by the secondary-ray scene objects (glass sphere).
+pub fn ray_sphere(ray: &Ray, center: Vec3, radius: f32) -> Option<SpanHit> {
+    let local = Ray::new((ray.origin - center) / radius, ray.direction / radius);
+    // The local parameterization rescales t by 1/radius only if direction is
+    // scaled too; by dividing both origin offset and direction by radius the
+    // returned t values remain in world units.
+    ray_sphere_unit(&local)
+}
+
+/// Möller–Trumbore ray–triangle intersection, the operation of the
+/// hardware ray–triangle unit.
+///
+/// Returns `None` on a miss, a backface-culling-free hit otherwise (Gaussian
+/// bounding meshes must report hits from either side).
+pub fn ray_triangle(ray: &Ray, v0: Vec3, v1: Vec3, v2: Vec3) -> Option<SurfaceHit> {
+    let e1 = v1 - v0;
+    let e2 = v2 - v0;
+    let p = ray.direction.cross(e2);
+    let det = e1.dot(p);
+    if det.abs() < 1e-12 {
+        return None; // Ray parallel to the triangle plane.
+    }
+    let inv_det = 1.0 / det;
+    let s = ray.origin - v0;
+    let u = s.dot(p) * inv_det;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let q = s.cross(e1);
+    let v = ray.direction.dot(q) * inv_det;
+    if v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let t = e2.dot(q) * inv_det;
+    if t < 0.0 {
+        return None;
+    }
+    Some(SurfaceHit { t, u, v })
+}
+
+/// Software ellipsoid intersection: the "custom Gaussian primitive" path of
+/// Figure 5, executed by a user-defined intersection shader rather than
+/// fixed-function hardware.
+///
+/// The ellipsoid is `{ x : |S^-1 R^T (x - center)| = 1 }` where
+/// `inv_linear = S^-1 R^T` is the world-to-canonical map. `t` values are in
+/// world units because only the spatial embedding is warped, not the ray
+/// parameterization.
+pub fn ray_ellipsoid(ray: &Ray, center: Vec3, inv_linear: &crate::mat::Mat3) -> Option<SpanHit> {
+    let local_origin = inv_linear.mul_vec3(ray.origin - center);
+    let local_dir = inv_linear.mul_vec3(ray.direction);
+    let local = Ray::new(local_origin, local_dir);
+    ray_sphere_unit(&local)
+}
+
+/// Ray–quad test for the secondary-ray mirror object.
+///
+/// The quad is defined by a corner and two edge vectors; hits report the
+/// plane distance when the hit point lies within both edge spans.
+pub fn ray_quad(ray: &Ray, corner: Vec3, edge_u: Vec3, edge_v: Vec3) -> Option<f32> {
+    let normal = edge_u.cross(edge_v);
+    let denom = ray.direction.dot(normal);
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let t = (corner - ray.origin).dot(normal) / denom;
+    if t < 0.0 {
+        return None;
+    }
+    let p = ray.at(t) - corner;
+    let uu = edge_u.dot(edge_u);
+    let vv = edge_v.dot(edge_v);
+    let u = p.dot(edge_u) / uu;
+    let v = p.dot(edge_v) / vv;
+    if (0.0..=1.0).contains(&u) && (0.0..=1.0).contains(&v) {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat3;
+
+    #[test]
+    fn unit_sphere_head_on() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::Z);
+        let hit = ray_sphere_unit(&r).expect("hit");
+        assert!((hit.t_enter - 2.0).abs() < 1e-6);
+        assert!((hit.t_exit - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_sphere_miss() {
+        let r = Ray::new(Vec3::new(0.0, 2.0, -3.0), Vec3::Z);
+        assert!(ray_sphere_unit(&r).is_none());
+    }
+
+    #[test]
+    fn unit_sphere_tangent_grazes() {
+        let r = Ray::new(Vec3::new(0.0, 1.0, -3.0), Vec3::Z);
+        let hit = ray_sphere_unit(&r).expect("tangent counts as hit");
+        assert!((hit.t_enter - hit.t_exit).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unit_sphere_behind_origin_misses() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 3.0), Vec3::Z);
+        assert!(ray_sphere_unit(&r).is_none());
+    }
+
+    #[test]
+    fn unit_sphere_origin_inside_enters_at_zero() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let hit = ray_sphere_unit(&r).expect("hit");
+        assert_eq!(hit.t_enter, 0.0);
+        assert!((hit.t_exit - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn offset_sphere_reports_world_distances() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        let hit = ray_sphere(&r, Vec3::new(10.0, 0.0, 0.0), 2.0).expect("hit");
+        assert!((hit.t_enter - 8.0).abs() < 1e-5);
+        assert!((hit.t_exit - 12.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn triangle_hit_reports_barycentrics() {
+        let r = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::Z);
+        let hit = ray_triangle(&r, Vec3::ZERO, Vec3::X, Vec3::Y).expect("hit");
+        assert!((hit.t - 1.0).abs() < 1e-6);
+        assert!((hit.u - 0.25).abs() < 1e-6);
+        assert!((hit.v - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_hits_from_both_sides() {
+        let front = Ray::new(Vec3::new(0.25, 0.25, -1.0), Vec3::Z);
+        let back = Ray::new(Vec3::new(0.25, 0.25, 1.0), -Vec3::Z);
+        assert!(ray_triangle(&front, Vec3::ZERO, Vec3::X, Vec3::Y).is_some());
+        assert!(ray_triangle(&back, Vec3::ZERO, Vec3::X, Vec3::Y).is_some());
+    }
+
+    #[test]
+    fn triangle_miss_outside_edges() {
+        let r = Ray::new(Vec3::new(0.9, 0.9, -1.0), Vec3::Z);
+        assert!(ray_triangle(&r, Vec3::ZERO, Vec3::X, Vec3::Y).is_none());
+    }
+
+    #[test]
+    fn triangle_parallel_ray_misses() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 1.0), Vec3::X);
+        assert!(ray_triangle(&r, Vec3::ZERO, Vec3::X, Vec3::Y).is_none());
+    }
+
+    #[test]
+    fn ellipsoid_matches_scaled_sphere() {
+        // Ellipsoid with radii (2, 1, 1) at the origin: the world-to-local
+        // map is diag(1/2, 1, 1).
+        let inv_linear = Mat3::from_diagonal(Vec3::new(0.5, 1.0, 1.0));
+        let r = Ray::new(Vec3::new(-5.0, 0.0, 0.0), Vec3::X);
+        let hit = ray_ellipsoid(&r, Vec3::ZERO, &inv_linear).expect("hit");
+        assert!((hit.t_enter - 3.0).abs() < 1e-5);
+        assert!((hit.t_exit - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quad_hit_and_miss() {
+        let corner = Vec3::new(-1.0, -1.0, 0.0);
+        let eu = Vec3::new(2.0, 0.0, 0.0);
+        let ev = Vec3::new(0.0, 2.0, 0.0);
+        let hit_ray = Ray::new(Vec3::new(0.0, 0.0, -2.0), Vec3::Z);
+        assert!((ray_quad(&hit_ray, corner, eu, ev).expect("hit") - 2.0).abs() < 1e-6);
+        let miss_ray = Ray::new(Vec3::new(3.0, 0.0, -2.0), Vec3::Z);
+        assert!(ray_quad(&miss_ray, corner, eu, ev).is_none());
+    }
+}

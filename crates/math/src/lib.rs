@@ -1,0 +1,37 @@
+//! Linear algebra and geometric intersection primitives for GRTX.
+//!
+//! This crate is the lowest-level substrate of the GRTX reproduction. It
+//! provides the vector/matrix types, rays, axis-aligned bounding boxes,
+//! affine instance transforms, and the three intersection routines that the
+//! paper's ray-tracing hardware model exposes as fixed-function units:
+//! ray–AABB, ray–triangle, and ray–sphere.
+//!
+//! All arithmetic is `f32`, matching GPU shader and RT-core precision.
+//!
+//! # Examples
+//!
+//! ```
+//! use grtx_math::{Ray, Vec3, intersect::ray_sphere_unit};
+//!
+//! let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::new(0.0, 0.0, 1.0));
+//! let hit = ray_sphere_unit(&ray).expect("ray points at the unit sphere");
+//! assert!((hit.t_enter - 2.0).abs() < 1e-6);
+//! ```
+
+pub mod aabb;
+pub mod intersect;
+pub mod mat;
+pub mod quat;
+pub mod ray;
+pub mod transform;
+pub mod vec;
+
+pub use aabb::Aabb;
+pub use mat::{Mat3, Mat4};
+pub use quat::Quat;
+pub use ray::Ray;
+pub use transform::Affine3;
+pub use vec::{Vec2, Vec3, Vec4};
+
+/// Tolerance used by the test-suite for floating point comparisons.
+pub const EPS: f32 = 1e-5;

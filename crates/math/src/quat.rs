@@ -1,0 +1,133 @@
+//! Unit quaternions for Gaussian orientations.
+
+use crate::mat::Mat3;
+use crate::vec::Vec3;
+
+/// A quaternion `w + xi + yj + zk`, used to parameterize the rotation of an
+/// anisotropic Gaussian exactly as 3DGS/3DGRT checkpoints do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f32,
+    /// i component.
+    pub x: f32,
+    /// j component.
+    pub y: f32,
+    /// k component.
+    pub z: f32,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Self = Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from components `(w, x, y, z)`.
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Self { w, x, y, z }
+    }
+
+    /// Creates a rotation of `angle` radians about `axis` (normalized
+    /// internally).
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        let axis = axis.normalized();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Self::new(c, axis.x * s, axis.y * s, axis.z * s)
+    }
+
+    /// Quaternion norm.
+    pub fn length(self) -> f32 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns this quaternion scaled to unit norm. A zero quaternion maps
+    /// to the identity, matching the behaviour of 3DGS training code when
+    /// normalizing raw parameters.
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        if len > 0.0 {
+            Self::new(self.w / len, self.x / len, self.y / len, self.z / len)
+        } else {
+            Self::IDENTITY
+        }
+    }
+
+    /// Converts to a rotation matrix. The quaternion is normalized first so
+    /// that arbitrary checkpoint parameters produce valid rotations.
+    pub fn to_mat3(self) -> Mat3 {
+        let q = self.normalized();
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3::from_cols(
+            Vec3::new(
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y + w * z),
+                2.0 * (x * z - w * y),
+            ),
+            Vec3::new(
+                2.0 * (x * y - w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z + w * x),
+            ),
+            Vec3::new(
+                2.0 * (x * z + w * y),
+                2.0 * (y * z - w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ),
+        )
+    }
+
+    /// Rotates a vector by this quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        self.to_mat3().mul_vec3(v)
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::FRAC_PI_2;
+
+    fn assert_vec3_close(a: Vec3, b: Vec3) {
+        assert!((a - b).length() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Quat::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z_maps_x_to_y() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert_vec3_close(q.rotate(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.5), 1.234);
+        let m = q.to_mat3();
+        let should_be_identity = m.mul_mat3(&m.transpose());
+        assert_vec3_close(should_be_identity.x_axis, Vec3::X);
+        assert_vec3_close(should_be_identity.y_axis, Vec3::Y);
+        assert_vec3_close(should_be_identity.z_axis, Vec3::Z);
+        assert!((m.determinant() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn unnormalized_quaternion_still_yields_rotation() {
+        let q = Quat::new(2.0, 0.0, 0.0, 2.0); // unnormalized quarter-ish turn
+        let m = q.to_mat3();
+        assert!((m.determinant() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_quaternion_normalizes_to_identity() {
+        assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized(), Quat::IDENTITY);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rays and traversal intervals.
+
+use crate::vec::Vec3;
+
+/// A ray `r(t) = origin + t * direction`.
+///
+/// The inverse direction is precomputed because the slab-based ray–AABB
+/// test — the single hottest operation in BVH traversal and one of the
+/// fixed-function units in the paper's RT core — consumes it directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (not required to be normalized; Gaussian ray tracing
+    /// uses normalized directions so `t` is metric distance).
+    pub direction: Vec3,
+    /// Component-wise reciprocal of `direction`.
+    pub inv_direction: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray from an origin and a direction.
+    pub fn new(origin: Vec3, direction: Vec3) -> Self {
+        Self { origin, direction, inv_direction: direction.recip() }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.direction * t
+    }
+}
+
+/// The `(t_min, t_max]` traversal interval maintained by the RT core during
+/// multi-round k-buffer tracing (Section III-A of the paper).
+///
+/// `t_min` advances to the last blended Gaussian's `t` between rounds;
+/// `t_max` shrinks within a round as the k-buffer fills.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Exclusive lower bound: hits at `t <= t_min` were already blended.
+    pub t_min: f32,
+    /// Inclusive upper bound imposed by the k-th closest candidate.
+    pub t_max: f32,
+}
+
+impl Interval {
+    /// The full `(0, ∞)` interval used by the first tracing round.
+    pub const FULL: Self = Self { t_min: 0.0, t_max: f32::INFINITY };
+
+    /// Creates an interval.
+    pub fn new(t_min: f32, t_max: f32) -> Self {
+        Self { t_min, t_max }
+    }
+
+    /// `true` if a hit distance lies inside the interval
+    /// (`t_min < t <= t_max`), the condition the RT unit's t-value
+    /// validation unit checks.
+    pub fn contains(&self, t: f32) -> bool {
+        t > self.t_min && t <= self.t_max
+    }
+
+    /// `true` if a `[t_enter, t_exit]` span (e.g. a box slab span)
+    /// overlaps the interval.
+    pub fn overlaps(&self, t_enter: f32, t_exit: f32) -> bool {
+        t_exit > self.t_min && t_enter <= self.t_max
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_along_direction() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 2.0));
+        assert_eq!(r.at(1.5), Vec3::new(0.0, 0.0, 3.0));
+    }
+
+    #[test]
+    fn inv_direction_is_reciprocal() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.5));
+        assert_eq!(r.inv_direction, Vec3::new(0.5, -0.25, 2.0));
+    }
+
+    #[test]
+    fn interval_contains_is_half_open() {
+        let i = Interval::new(1.0, 2.0);
+        assert!(!i.contains(1.0)); // exclusive lower bound
+        assert!(i.contains(1.5));
+        assert!(i.contains(2.0)); // inclusive upper bound
+        assert!(!i.contains(2.5));
+    }
+
+    #[test]
+    fn full_interval_contains_everything_positive() {
+        assert!(Interval::FULL.contains(1e-30));
+        assert!(Interval::FULL.contains(1e30));
+        assert!(!Interval::FULL.contains(0.0));
+    }
+
+    #[test]
+    fn overlaps_detects_straddling_spans() {
+        let i = Interval::new(1.0, 2.0);
+        assert!(i.overlaps(0.5, 1.5)); // straddles t_min: must traverse
+        assert!(i.overlaps(1.5, 3.0)); // straddles t_max
+        assert!(!i.overlaps(2.5, 3.0)); // beyond t_max: checkpoint candidate
+        assert!(!i.overlaps(0.1, 0.9)); // fully behind
+    }
+}

@@ -1,0 +1,123 @@
+//! Affine instance transforms.
+//!
+//! The core geometric insight of GRTX-SW (Section IV-A): a TLAS leaf stores
+//! the affine map of one Gaussian instance; transforming the ray by the
+//! *inverse* map turns the anisotropic ellipsoid into the unit sphere, so a
+//! single shared BLAS suffices for every Gaussian in the scene. Modern RT
+//! hardware performs exactly this transform at instance nodes.
+
+use crate::mat::Mat3;
+use crate::ray::Ray;
+use crate::vec::Vec3;
+
+/// An affine transform `x -> linear * x + translation` with its cached
+/// inverse, mirroring the 3×4 transform matrices stored in TLAS instance
+/// nodes (plus the world-to-object matrix the hardware keeps alongside).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Affine3 {
+    /// Object-to-world linear part (rotation × scale for Gaussians).
+    pub linear: Mat3,
+    /// Object-to-world translation (the Gaussian mean).
+    pub translation: Vec3,
+    /// Cached world-to-object linear part.
+    pub inv_linear: Mat3,
+}
+
+impl Affine3 {
+    /// The identity transform.
+    pub const IDENTITY: Self = Self {
+        linear: Mat3::IDENTITY,
+        translation: Vec3::ZERO,
+        inv_linear: Mat3::IDENTITY,
+    };
+
+    /// Creates a transform from a linear part and translation.
+    ///
+    /// Returns `None` when `linear` is singular (a degenerate Gaussian with
+    /// a zero scale axis), which callers must filter out at scene load.
+    pub fn new(linear: Mat3, translation: Vec3) -> Option<Self> {
+        let inv_linear = linear.inverse()?;
+        Some(Self { linear, translation, inv_linear })
+    }
+
+    /// Transforms a point object → world.
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.linear.mul_vec3(p) + self.translation
+    }
+
+    /// Transforms a point world → object.
+    pub fn inverse_transform_point(&self, p: Vec3) -> Vec3 {
+        self.inv_linear.mul_vec3(p - self.translation)
+    }
+
+    /// Transforms a world-space ray into object space — the ray-transform
+    /// fixed-function unit of the RT core.
+    ///
+    /// The direction is *not* renormalized, so `t` values measured in
+    /// object space equal world-space `t` values. This property is what
+    /// lets the k-buffer compare `t_hit` from different instances directly.
+    pub fn inverse_transform_ray(&self, ray: &Ray) -> Ray {
+        Ray::new(
+            self.inverse_transform_point(ray.origin),
+            self.inv_linear.mul_vec3(ray.direction),
+        )
+    }
+}
+
+impl Default for Affine3 {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::{ray_ellipsoid, ray_sphere_unit};
+    use crate::quat::Quat;
+
+    #[test]
+    fn identity_round_trip() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let t = Affine3::IDENTITY;
+        assert_eq!(t.transform_point(p), p);
+        assert_eq!(t.inverse_transform_point(p), p);
+    }
+
+    #[test]
+    fn inverse_transform_point_round_trips() {
+        let linear = Quat::from_axis_angle(Vec3::new(0.3, 1.0, -0.2), 0.7)
+            .to_mat3()
+            .mul_mat3(&Mat3::from_diagonal(Vec3::new(2.0, 0.5, 1.5)));
+        let t = Affine3::new(linear, Vec3::new(4.0, -2.0, 1.0)).expect("invertible");
+        let p = Vec3::new(-1.0, 0.4, 2.2);
+        let q = t.inverse_transform_point(t.transform_point(p));
+        assert!((q - p).length() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_scale_is_rejected() {
+        let linear = Mat3::from_diagonal(Vec3::new(1.0, 0.0, 1.0));
+        assert!(Affine3::new(linear, Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn transformed_ray_preserves_t_parameterization() {
+        // The GRTX-SW insight: intersecting the world-space ellipsoid and
+        // intersecting the unit sphere with the transformed ray must report
+        // the same t values.
+        let rot = Quat::from_axis_angle(Vec3::new(1.0, 2.0, 0.5), 1.1).to_mat3();
+        let scale = Mat3::from_diagonal(Vec3::new(3.0, 0.4, 1.2));
+        let linear = rot.mul_mat3(&scale);
+        let center = Vec3::new(2.0, -1.0, 5.0);
+        let instance = Affine3::new(linear, center).expect("invertible");
+
+        let ray = Ray::new(Vec3::new(-4.0, 0.5, 0.0), (center - Vec3::new(-4.0, 0.5, 0.0)).normalized());
+        let world_hit = ray_ellipsoid(&ray, center, &instance.inv_linear).expect("hit");
+        let local_ray = instance.inverse_transform_ray(&ray);
+        let local_hit = ray_sphere_unit(&local_ray).expect("hit");
+
+        assert!((world_hit.t_enter - local_hit.t_enter).abs() < 1e-3);
+        assert!((world_hit.t_exit - local_hit.t_exit).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,409 @@
+//! Fixed-size vector types (`Vec2`, `Vec3`, `Vec4`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component `f32` vector (used for image-plane coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f32,
+    /// Vertical component.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Creates a vector from its components.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+
+    /// Dot product with `other`.
+    pub fn dot(self, other: Self) -> f32 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A 3-component `f32` vector, the workhorse type of the crate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// Creates a vector from its components.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0, 0.0);
+    /// The all-ones vector.
+    pub const ONE: Self = Self::new(1.0, 1.0, 1.0);
+    /// Unit vector along +X.
+    pub const X: Self = Self::new(1.0, 0.0, 0.0);
+    /// Unit vector along +Y.
+    pub const Y: Self = Self::new(0.0, 1.0, 0.0);
+    /// Unit vector along +Z.
+    pub const Z: Self = Self::new(0.0, 0.0, 1.0);
+
+    /// Creates a vector with all components equal to `v`.
+    pub const fn splat(v: f32) -> Self {
+        Self::new(v, v, v)
+    }
+
+    /// Dot product with `other`.
+    pub fn dot(self, other: Self) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product with `other` (right-handed).
+    pub fn cross(self, other: Self) -> Self {
+        Self::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (cheaper than [`Vec3::length`]).
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Returns this vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; a zero vector is returned unchanged (callers in the
+    /// renderer guarantee non-degenerate directions).
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        if len > 0.0 {
+            self / len
+        } else {
+            self
+        }
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Self) -> Self {
+        Self::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Self) -> Self {
+        Self::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Component-wise absolute value.
+    pub fn abs(self) -> Self {
+        Self::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Component-wise reciprocal; zero components map to `f32::INFINITY`
+    /// with the sign of the zero, as ray-traversal slab tests expect.
+    pub fn recip(self) -> Self {
+        Self::new(1.0 / self.x, 1.0 / self.y, 1.0 / self.z)
+    }
+
+    /// Largest component value.
+    pub fn max_element(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    pub fn min_element(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Component-wise multiplication (Hadamard product).
+    pub fn mul_elem(self, other: Self) -> Self {
+        Self::new(self.x * other.x, self.y * other.y, self.z * other.z)
+    }
+
+    /// Linear interpolation: `self * (1 - t) + other * t`.
+    pub fn lerp(self, other: Self, t: f32) -> Self {
+        self * (1.0 - t) + other * t
+    }
+
+    /// `true` if all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Extends to a [`Vec4`] with the given `w`.
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    fn index_mut(&mut self, index: usize) -> &mut f32 {
+        match index {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Self;
+    fn mul(self, rhs: f32) -> Self {
+        Self::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Self;
+    fn div(self, rhs: f32) -> Self {
+        Self::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    fn div_assign(&mut self, rhs: f32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    fn from(v: Vec3) -> [f32; 3] {
+        [v.x, v.y, v.z]
+    }
+}
+
+/// A 4-component `f32` vector (homogeneous coordinates, RGBA colors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl Vec4 {
+    /// Creates a vector from its components.
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Self = Self::new(0.0, 0.0, 0.0, 0.0);
+
+    /// Dot product with `other`.
+    pub fn dot(self, other: Self) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z + self.w * other.w
+    }
+
+    /// Drops the `w` component.
+    pub fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+}
+
+impl fmt::Display for Vec4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {}, {})", self.x, self.y, self.z, self.w)
+    }
+}
+
+impl Add for Vec4 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z, self.w + rhs.w)
+    }
+}
+
+impl Mul<f32> for Vec4 {
+    type Output = Self;
+    fn mul(self, rhs: f32) -> Self {
+        Self::new(self.x * rhs, self.y * rhs, self.z * rhs, self.w * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_follows_right_hand_rule() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn cross_is_antisymmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        assert_eq!(a.cross(b), -(b.cross(a)));
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        assert!((v.normalized().length() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_zero_stays_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(2.0, 3.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 3.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -1.0));
+    }
+
+    #[test]
+    fn recip_of_zero_is_infinite() {
+        let r = Vec3::new(0.0, 2.0, -4.0).recip();
+        assert!(r.x.is_infinite());
+        assert_eq!(r.y, 0.5);
+        assert_eq!(r.z, -0.25);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(5.0, 6.0, 7.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        v[1] = 9.0;
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 9.0);
+        assert_eq!(v[2], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn indexing_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn vec4_truncate_drops_w() {
+        assert_eq!(Vec4::new(1.0, 2.0, 3.0, 4.0).truncate(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn vec2_length() {
+        assert_eq!(Vec2::new(3.0, 4.0).length(), 5.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the math substrate.
+
+use grtx_math::intersect::{ray_ellipsoid, ray_sphere_unit, ray_triangle};
+use grtx_math::{Aabb, Affine3, Mat3, Quat, Ray, Vec3};
+use proptest::prelude::*;
+
+fn finite_f32(range: std::ops::Range<f32>) -> impl Strategy<Value = f32> {
+    let (start, end) = (range.start, range.end);
+    (0.0f64..1.0f64).prop_map(move |u| start + (u as f32) * (end - start))
+}
+
+fn vec3(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
+    (finite_f32(range.clone()), finite_f32(range.clone()), finite_f32(range))
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn unit_dir() -> impl Strategy<Value = Vec3> {
+    vec3(-1.0..1.0)
+        .prop_filter("non-degenerate direction", |v| v.length() > 1e-3)
+        .prop_map(|v| v.normalized())
+}
+
+fn rotation() -> impl Strategy<Value = Mat3> {
+    (unit_dir(), finite_f32(0.0..std::f32::consts::TAU))
+        .prop_map(|(axis, angle)| Quat::from_axis_angle(axis, angle).to_mat3())
+}
+
+proptest! {
+    #[test]
+    fn aabb_union_contains_both(amin in vec3(-10.0..10.0), aext in vec3(0.0..5.0),
+                                bmin in vec3(-10.0..10.0), bext in vec3(0.0..5.0)) {
+        let a = Aabb::new(amin, amin + aext);
+        let b = Aabb::new(bmin, bmin + bext);
+        let u = a.union(&b);
+        prop_assert!(u.contains_box(&a, 1e-6));
+        prop_assert!(u.contains_box(&b, 1e-6));
+    }
+
+    #[test]
+    fn aabb_hit_point_is_on_boundary_or_inside(origin in vec3(-20.0..20.0), dir in unit_dir(),
+                                               bmin in vec3(-5.0..5.0), bext in vec3(0.1..5.0)) {
+        let b = Aabb::new(bmin, bmin + bext);
+        let ray = Ray::new(origin, dir);
+        if let Some((t_enter, t_exit)) = b.intersect_ray(&ray) {
+            prop_assert!(t_enter <= t_exit);
+            // Points strictly between entry and exit must be inside
+            // (within tolerance proportional to coordinate scale).
+            let mid = ray.at(0.5 * (t_enter + t_exit));
+            let slack = Vec3::splat(1e-3);
+            let padded = Aabb::new(b.min - slack, b.max + slack);
+            prop_assert!(padded.contains_point(mid));
+        }
+    }
+
+    #[test]
+    fn sphere_hit_points_lie_on_sphere(origin in vec3(-10.0..10.0), dir in unit_dir()) {
+        let ray = Ray::new(origin, dir);
+        if let Some(hit) = ray_sphere_unit(&ray) {
+            if hit.t_enter > 0.0 {
+                prop_assert!((ray.at(hit.t_enter).length() - 1.0).abs() < 1e-2);
+            }
+            prop_assert!((ray.at(hit.t_exit).length() - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn triangle_hit_point_matches_barycentric(origin in vec3(-10.0..10.0), dir in unit_dir(),
+                                              v0 in vec3(-3.0..3.0), e1 in vec3(-2.0..2.0), e2 in vec3(-2.0..2.0)) {
+        let v1 = v0 + e1;
+        let v2 = v0 + e2;
+        let ray = Ray::new(origin, dir);
+        if let Some(hit) = ray_triangle(&ray, v0, v1, v2) {
+            let p_ray = ray.at(hit.t);
+            let p_bary = v0 * (1.0 - hit.u - hit.v) + v1 * hit.u + v2 * hit.v;
+            prop_assert!((p_ray - p_bary).length() < 1e-2 * (1.0 + p_ray.length()));
+        }
+    }
+
+    /// The central GRTX-SW property: a world-space ellipsoid intersection
+    /// equals a unit-sphere intersection of the instance-transformed ray.
+    #[test]
+    fn ellipsoid_equals_transformed_unit_sphere(
+        rot in rotation(),
+        scale in vec3(0.05..3.0),
+        center in vec3(-5.0..5.0),
+        origin in vec3(-10.0..10.0),
+        dir in unit_dir(),
+    ) {
+        let scale = Vec3::new(scale.x.max(0.05), scale.y.max(0.05), scale.z.max(0.05));
+        let linear = rot.mul_mat3(&Mat3::from_diagonal(scale));
+        let instance = Affine3::new(linear, center).unwrap();
+        let ray = Ray::new(origin, dir);
+
+        let world = ray_ellipsoid(&ray, center, &instance.inv_linear);
+        let local = ray_sphere_unit(&instance.inverse_transform_ray(&ray));
+
+        match (world, local) {
+            (None, None) => {}
+            (Some(w), Some(l)) => {
+                prop_assert!((w.t_enter - l.t_enter).abs() < 1e-2 * (1.0 + w.t_enter.abs()));
+                prop_assert!((w.t_exit - l.t_exit).abs() < 1e-2 * (1.0 + w.t_exit.abs()));
+            }
+            // Grazing rays may disagree within float tolerance; accept only
+            // near-tangent cases.
+            (Some(w), None) => prop_assert!((w.t_exit - w.t_enter).abs() < 1e-2),
+            (None, Some(l)) => prop_assert!((l.t_exit - l.t_enter).abs() < 1e-2),
+        }
+    }
+
+    #[test]
+    fn affine_round_trip(rot in rotation(), scale in vec3(0.05..3.0),
+                         t in vec3(-5.0..5.0), p in vec3(-5.0..5.0)) {
+        let scale = Vec3::new(scale.x.max(0.05), scale.y.max(0.05), scale.z.max(0.05));
+        let linear = rot.mul_mat3(&Mat3::from_diagonal(scale));
+        let a = Affine3::new(linear, t).unwrap();
+        let q = a.inverse_transform_point(a.transform_point(p));
+        prop_assert!((q - p).length() < 1e-2);
+    }
+
+    #[test]
+    fn mat3_inverse_is_two_sided(rot in rotation(), scale in vec3(0.1..3.0)) {
+        let scale = Vec3::new(scale.x.max(0.1), scale.y.max(0.1), scale.z.max(0.1));
+        let m = rot.mul_mat3(&Mat3::from_diagonal(scale));
+        let inv = m.inverse().unwrap();
+        let left = inv.mul_mat3(&m);
+        let right = m.mul_mat3(&inv);
+        for i in 0..3 {
+            prop_assert!((left.col(i) - Mat3::IDENTITY.col(i)).length() < 1e-3);
+            prop_assert!((right.col(i) - Mat3::IDENTITY.col(i)).length() < 1e-3);
+        }
+    }
+}

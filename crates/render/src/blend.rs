@@ -1,0 +1,140 @@
+//! Front-to-back alpha blending with early ray termination.
+//!
+//! Implements Equation 1 of the paper with the ray-tracing twist of
+//! Section III-A: colors come from SH evaluated per ray, and alpha is
+//! evaluated at `t_alpha`, the point of maximum Gaussian response along
+//! the ray.
+
+use grtx_math::{Ray, Vec3};
+use grtx_scene::Gaussian;
+
+/// Alphas below this threshold contribute nothing visible and are
+/// skipped, as in the 3DGS reference renderer (1/255).
+pub const MIN_BLEND_ALPHA: f32 = 1.0 / 255.0;
+
+/// Accumulated color and transmittance for one ray.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlendState {
+    /// Accumulated radiance.
+    pub color: Vec3,
+    /// Remaining transmittance `Π (1 − αj)`; starts at 1.
+    pub transmittance: f32,
+    /// Number of Gaussians blended.
+    pub blended: u32,
+}
+
+impl BlendState {
+    /// Fresh state (black, fully transparent path).
+    pub fn new() -> Self {
+        Self { color: Vec3::ZERO, transmittance: 1.0, blended: 0 }
+    }
+
+    /// Blends one Gaussian. Returns the alpha it contributed.
+    pub fn blend(&mut self, gaussian: &Gaussian, ray: &Ray) -> f32 {
+        let alpha = gaussian.alpha_along(ray);
+        if alpha < MIN_BLEND_ALPHA {
+            return alpha;
+        }
+        let color = gaussian.color(ray.direction);
+        self.color += color * (alpha * self.transmittance);
+        self.transmittance *= 1.0 - alpha;
+        self.blended += 1;
+        alpha
+    }
+
+    /// Early-ray-termination check: `true` once the remaining
+    /// transmittance drops below `min_transmittance`.
+    pub fn saturated(&self, min_transmittance: f32) -> bool {
+        self.transmittance < min_transmittance
+    }
+
+    /// Accumulated opacity (`1 − T`).
+    pub fn alpha(&self) -> f32 {
+        1.0 - self.transmittance
+    }
+
+    /// Composites a background color into the remaining transmittance.
+    pub fn over_background(&self, background: Vec3) -> Vec3 {
+        self.color + background * self.transmittance
+    }
+}
+
+impl Default for BlendState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opaque_gaussian(z: f32, color: Vec3) -> Gaussian {
+        Gaussian::isotropic(Vec3::new(0.0, 0.0, z), 0.3, 0.95, color)
+    }
+
+    fn axis_ray() -> Ray {
+        Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z)
+    }
+
+    #[test]
+    fn blending_accumulates_and_attenuates() {
+        let mut s = BlendState::new();
+        let g = opaque_gaussian(0.0, Vec3::new(1.0, 0.0, 0.0));
+        let a = s.blend(&g, &axis_ray());
+        assert!(a > 0.9, "head-on hit at high opacity: alpha = {a}");
+        assert!(s.color.x > 0.85);
+        assert!(s.transmittance < 0.1);
+        assert_eq!(s.blended, 1);
+    }
+
+    #[test]
+    fn front_to_back_order_matters() {
+        let red = opaque_gaussian(0.0, Vec3::new(1.0, 0.0, 0.0));
+        let blue = opaque_gaussian(2.0, Vec3::new(0.0, 0.0, 1.0));
+        let ray = axis_ray();
+        let mut s = BlendState::new();
+        s.blend(&red, &ray);
+        s.blend(&blue, &ray);
+        assert!(s.color.x > s.color.z, "front red must dominate");
+    }
+
+    #[test]
+    fn saturation_detects_ert_point() {
+        let mut s = BlendState::new();
+        let ray = axis_ray();
+        assert!(!s.saturated(0.01));
+        for i in 0..6 {
+            s.blend(&opaque_gaussian(i as f32, Vec3::ONE), &ray);
+        }
+        assert!(s.saturated(0.01), "transmittance = {}", s.transmittance);
+    }
+
+    #[test]
+    fn tiny_alpha_is_skipped() {
+        let mut s = BlendState::new();
+        // A Gaussian far off-axis: response ~ 0.
+        let g = Gaussian::isotropic(Vec3::new(50.0, 0.0, 0.0), 0.1, 0.9, Vec3::ONE);
+        let a = s.blend(&g, &axis_ray());
+        assert!(a < MIN_BLEND_ALPHA);
+        assert_eq!(s.blended, 0);
+        assert_eq!(s.transmittance, 1.0);
+    }
+
+    #[test]
+    fn background_composites_through_transmittance() {
+        let s = BlendState::new();
+        let c = s.over_background(Vec3::new(0.2, 0.4, 0.6));
+        assert_eq!(c, Vec3::new(0.2, 0.4, 0.6));
+    }
+
+    #[test]
+    fn transmittance_never_negative() {
+        let mut s = BlendState::new();
+        let ray = axis_ray();
+        for i in 0..50 {
+            s.blend(&opaque_gaussian(i as f32 * 0.1, Vec3::ONE), &ray);
+        }
+        assert!(s.transmittance >= 0.0);
+    }
+}

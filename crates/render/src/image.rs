@@ -1,0 +1,154 @@
+//! Minimal image container with comparison helpers and PPM output.
+
+use grtx_math::Vec3;
+use std::io::Write;
+
+/// An RGB float image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    pixels: Vec<Vec3>,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self { width, height, pixels: vec![Vec3::ZERO; (width * height) as usize] }
+    }
+
+    /// Pixel accessor by linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn pixel(&self, index: usize) -> Vec3 {
+        self.pixels[index]
+    }
+
+    /// Sets a pixel by linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_pixel(&mut self, index: usize, color: Vec3) {
+        self.pixels[index] = color;
+    }
+
+    /// All pixels, row-major.
+    pub fn pixels(&self) -> &[Vec3] {
+        &self.pixels
+    }
+
+    /// Mean squared error against another image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn mse(&self, other: &Image) -> f64 {
+        assert_eq!((self.width, self.height), (other.width, other.height), "image size mismatch");
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(a, b)| {
+                let d = *a - *b;
+                (d.dot(d) / 3.0) as f64
+            })
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio in dB against a reference (assumes
+    /// values in [0, 1]; identical images report infinity).
+    pub fn psnr(&self, other: &Image) -> f64 {
+        let mse = self.mse(other);
+        if mse <= 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (1.0 / mse).log10()
+        }
+    }
+
+    /// Mean luminance (sanity metric: a non-degenerate render is neither
+    /// all-black nor all-white).
+    pub fn mean_luminance(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .map(|p| (0.2126 * p.x + 0.7152 * p.y + 0.0722 * p.z) as f64)
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Writes a binary PPM (P6) file, clamping to [0, 1].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the file.
+    pub fn write_ppm(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write!(file, "P6\n{} {}\n255\n", self.width, self.height)?;
+        let mut buf = Vec::with_capacity(self.pixels.len() * 3);
+        for p in &self.pixels {
+            for c in [p.x, p.y, p.z] {
+                buf.push((c.clamp(0.0, 1.0) * 255.0 + 0.5) as u8);
+            }
+        }
+        file.write_all(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_image_is_black() {
+        let img = Image::new(4, 3);
+        assert_eq!(img.pixels().len(), 12);
+        assert_eq!(img.mean_luminance(), 0.0);
+    }
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let mut img = Image::new(2, 2);
+        img.set_pixel(0, Vec3::new(0.5, 0.2, 0.9));
+        assert_eq!(img.psnr(&img.clone()), f64::INFINITY);
+    }
+
+    #[test]
+    fn mse_detects_differences() {
+        let a = Image::new(2, 2);
+        let mut b = Image::new(2, 2);
+        b.set_pixel(3, Vec3::ONE);
+        assert!(a.mse(&b) > 0.0);
+        assert!(a.psnr(&b) < 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mse_rejects_size_mismatch() {
+        let _ = Image::new(2, 2).mse(&Image::new(3, 2));
+    }
+
+    #[test]
+    fn ppm_round_trip_header() {
+        let img = Image::new(5, 7);
+        let dir = std::env::temp_dir().join("grtx_test_ppm");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.ppm");
+        img.write_ppm(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6\n5 7\n255\n"));
+        assert_eq!(data.len(), 11 + 5 * 7 * 3);
+    }
+}

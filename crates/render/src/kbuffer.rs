@@ -1,0 +1,232 @@
+//! The any-hit k-buffer (Section III-A / Listing 1).
+//!
+//! A per-ray buffer holding the `k` closest Gaussian hits found so far,
+//! kept depth-sorted by insertion sort. When the buffer is full, an
+//! incoming hit either displaces the farthest entry (which is *rejected*)
+//! or is itself rejected. Under GRTX-HW, rejected entries go to the
+//! eviction buffer; the baseline simply re-discovers them next round.
+
+/// One k-buffer entry: `(t_hit, gaussian id)`. Ordering is lexicographic
+/// on `(t, id)` so ties break deterministically.
+pub type Entry = (f32, u32);
+
+/// Result of inserting a hit into the k-buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InsertOutcome {
+    /// Buffer had room (or the incoming displaced a farther entry that
+    /// was rejected). Any-hit must `ignoreIntersectionEXT`.
+    Accepted {
+        /// The displaced farthest entry, if the buffer was full.
+        rejected: Option<Entry>,
+        /// Insertion-sort steps performed (for the shader cost model).
+        sort_steps: u32,
+    },
+    /// The incoming hit is not among the `k` closest: it is the rejected
+    /// entry itself. Any-hit must report the hit, shrinking `t_max`.
+    RejectedIncoming {
+        /// Sort steps performed before rejection.
+        sort_steps: u32,
+    },
+    /// Exact duplicate of an existing entry (same `t` and id) — ignored.
+    /// Happens when a proxy mesh reports the same Gaussian twice through
+    /// a shared edge.
+    Duplicate,
+}
+
+/// A depth-sorted bounded buffer of the `k` closest hits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KBuffer {
+    entries: Vec<Entry>,
+    k: usize,
+}
+
+impl KBuffer {
+    /// Creates an empty buffer of capacity `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-buffer capacity must be positive");
+        Self { entries: Vec::with_capacity(k + 1), k }
+    }
+
+    /// Capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no hits are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when the buffer holds `k` entries.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.k
+    }
+
+    /// The sorted entries, nearest first.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The farthest buffered entry, if any.
+    pub fn farthest(&self) -> Option<Entry> {
+        self.entries.last().copied()
+    }
+
+    /// Inserts a hit per the Listing 1 protocol.
+    pub fn insert(&mut self, t: f32, id: u32) -> InsertOutcome {
+        let key = (t, id);
+        // Position by (t, id); scan length models insertion-sort work.
+        let pos = self
+            .entries
+            .partition_point(|&(et, eid)| (et, eid) < key);
+        let sort_steps = (self.entries.len() - pos) as u32 + 1;
+        if self.entries.get(pos) == Some(&key) {
+            return InsertOutcome::Duplicate;
+        }
+        if self.entries.len() < self.k {
+            self.entries.insert(pos, key);
+            return InsertOutcome::Accepted { rejected: None, sort_steps };
+        }
+        if pos == self.entries.len() {
+            // Incoming is the farthest of k+1 candidates.
+            return InsertOutcome::RejectedIncoming { sort_steps };
+        }
+        self.entries.insert(pos, key);
+        let rejected = self.entries.pop().expect("buffer was full");
+        InsertOutcome::Accepted { rejected: Some(rejected), sort_steps }
+    }
+
+    /// Seeds entries (from the eviction buffer) before a round; input
+    /// need not be sorted. Returns the number seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if seeding would overflow the buffer (callers seed at most
+    /// `k` entries into an empty buffer).
+    pub fn seed(&mut self, entries: &[Entry]) -> usize {
+        assert!(
+            self.entries.len() + entries.len() <= self.k,
+            "seed overflow: {} + {} > {}",
+            self.entries.len(),
+            entries.len(),
+            self.k
+        );
+        self.entries.extend_from_slice(entries);
+        self.entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        entries.len()
+    }
+
+    /// Drains all entries (for blending), leaving the buffer empty.
+    pub fn drain_sorted(&mut self) -> Vec<Entry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_closest() {
+        let mut b = KBuffer::new(3);
+        for (t, id) in [(5.0, 0), (1.0, 1), (3.0, 2), (2.0, 3), (4.0, 4)] {
+            b.insert(t, id);
+        }
+        let ts: Vec<f32> = b.entries().iter().map(|e| e.0).collect();
+        assert_eq!(ts, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn entries_stay_sorted_after_every_insert() {
+        let mut b = KBuffer::new(4);
+        for (i, t) in [3.0f32, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0].iter().enumerate() {
+            b.insert(*t, i as u32);
+            assert!(b.entries().windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        }
+    }
+
+    #[test]
+    fn incoming_farthest_is_rejected_with_commit() {
+        let mut b = KBuffer::new(2);
+        b.insert(1.0, 0);
+        b.insert(2.0, 1);
+        match b.insert(3.0, 2) {
+            InsertOutcome::RejectedIncoming { .. } => {}
+            other => panic!("expected RejectedIncoming, got {other:?}"),
+        }
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn displacement_rejects_previous_farthest() {
+        let mut b = KBuffer::new(2);
+        b.insert(1.0, 0);
+        b.insert(3.0, 1);
+        match b.insert(2.0, 2) {
+            InsertOutcome::Accepted { rejected: Some((t, id)), .. } => {
+                assert_eq!((t, id), (3.0, 1));
+            }
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(b.farthest(), Some((2.0, 2)));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut b = KBuffer::new(4);
+        b.insert(1.0, 7);
+        assert_eq!(b.insert(1.0, 7), InsertOutcome::Duplicate);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn equal_t_different_id_both_kept() {
+        let mut b = KBuffer::new(4);
+        b.insert(1.0, 7);
+        assert!(matches!(b.insert(1.0, 3), InsertOutcome::Accepted { .. }));
+        assert_eq!(b.entries(), &[(1.0, 3), (1.0, 7)]);
+    }
+
+    #[test]
+    fn seed_then_insert_interacts_correctly() {
+        let mut b = KBuffer::new(3);
+        b.seed(&[(4.0, 1), (2.0, 0)]);
+        assert_eq!(b.entries(), &[(2.0, 0), (4.0, 1)]);
+        b.insert(3.0, 2);
+        assert!(b.is_full());
+        assert!(matches!(b.insert(9.0, 3), InsertOutcome::RejectedIncoming { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "seed overflow")]
+    fn seed_overflow_panics() {
+        let mut b = KBuffer::new(1);
+        b.seed(&[(1.0, 0), (2.0, 1)]);
+    }
+
+    #[test]
+    fn sort_steps_reflect_scan_depth() {
+        let mut b = KBuffer::new(8);
+        // Appending at the end scans one slot.
+        match b.insert(1.0, 0) {
+            InsertOutcome::Accepted { sort_steps, .. } => assert_eq!(sort_steps, 1),
+            _ => unreachable!(),
+        }
+        b.insert(2.0, 1);
+        b.insert(3.0, 2);
+        // Inserting at the front scans past everything.
+        match b.insert(0.5, 3) {
+            InsertOutcome::Accepted { sort_steps, .. } => assert_eq!(sort_steps, 4),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Camera models and ray generation.
+//!
+//! Rasterization struggles with "highly distorted cameras" (paper
+//! Section I); ray tracing handles them natively because each pixel just
+//! gets its own ray. We provide the standard pinhole model plus an
+//! equidistant fisheye model to exercise that motivation.
+
+use crate::profile::SceneProfile;
+use grtx_math::{Mat3, Mat4, Ray, Vec3};
+
+/// Projection model for ray generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CameraModel {
+    /// Classic perspective projection with a vertical field of view in
+    /// radians.
+    Pinhole {
+        /// Vertical field of view (radians).
+        fov_y: f32,
+    },
+    /// Equidistant fisheye: the image-plane radius is proportional to the
+    /// ray angle from the optical axis, up to `max_theta` radians.
+    Fisheye {
+        /// Maximum half-angle covered by the image circle (radians).
+        max_theta: f32,
+    },
+}
+
+/// A positioned camera that generates primary rays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Camera {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    model: CameraModel,
+    eye: Vec3,
+    /// Camera-to-world rotation columns: right, up, forward.
+    basis: Mat3,
+}
+
+impl Camera {
+    /// Creates a camera at `eye` looking at `target`.
+    pub fn look_at(
+        width: u32,
+        height: u32,
+        model: CameraModel,
+        eye: Vec3,
+        target: Vec3,
+        up: Vec3,
+    ) -> Self {
+        let view = Mat4::look_at(eye, target, up);
+        // look_at returns world-to-camera; camera-to-world rotation is the
+        // transpose of its linear part.
+        let w2c = view.linear();
+        let c2w = w2c.transpose();
+        Self {
+            width,
+            height,
+            model,
+            eye,
+            basis: c2w,
+        }
+    }
+
+    /// Builds the evaluation camera a scene profile prescribes
+    /// (pinhole, Table II resolution/FoV).
+    pub fn for_profile(profile: &SceneProfile) -> Self {
+        Self::look_at(
+            profile.resolution.0,
+            profile.resolution.1,
+            CameraModel::Pinhole {
+                fov_y: profile.fov_y_deg.to_radians(),
+            },
+            profile.camera_eye(),
+            Vec3::ZERO,
+            Vec3::Y,
+        )
+    }
+
+    /// Camera position.
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+
+    /// Camera-to-world rotation (columns: right, up, backward-facing
+    /// forward); the rasterizer needs the world-to-camera transpose.
+    pub fn basis(&self) -> Mat3 {
+        self.basis
+    }
+
+    /// Camera model.
+    pub fn model(&self) -> CameraModel {
+        self.model
+    }
+
+    /// Total pixel (ray) count.
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Generates the primary ray through pixel `(px, py)` (pixel centers).
+    ///
+    /// Returns `None` for fisheye pixels outside the image circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pixel is out of bounds.
+    pub fn primary_ray(&self, px: u32, py: u32) -> Option<Ray> {
+        assert!(px < self.width && py < self.height, "pixel out of bounds");
+        // NDC in [-1, 1], y up.
+        let ndc_x = ((px as f32 + 0.5) / self.width as f32) * 2.0 - 1.0;
+        let ndc_y = 1.0 - ((py as f32 + 0.5) / self.height as f32) * 2.0;
+        let aspect = self.width as f32 / self.height as f32;
+
+        let dir_camera = match self.model {
+            CameraModel::Pinhole { fov_y } => {
+                let tan_half = (fov_y * 0.5).tan();
+                Vec3::new(ndc_x * tan_half * aspect, ndc_y * tan_half, -1.0)
+            }
+            CameraModel::Fisheye { max_theta } => {
+                let r = (ndc_x * ndc_x * aspect * aspect + ndc_y * ndc_y).sqrt();
+                if r > 1.0 {
+                    return None;
+                }
+                let theta = r * max_theta;
+                let phi = (ndc_y).atan2(ndc_x * aspect);
+                let (st, ct) = theta.sin_cos();
+                Vec3::new(st * phi.cos(), st * phi.sin(), -ct)
+            }
+        };
+        let world_dir = self.basis.mul_vec3(dir_camera).normalized();
+        Some(Ray::new(self.eye, world_dir))
+    }
+
+    /// Iterator over `(pixel_index, ray)` in row-major order, skipping
+    /// fisheye pixels outside the image circle.
+    pub fn rays(&self) -> impl Iterator<Item = (usize, Ray)> + '_ {
+        (0..self.height).flat_map(move |py| {
+            (0..self.width).filter_map(move |px| {
+                self.primary_ray(px, py)
+                    .map(|ray| ((py * self.width + px) as usize, ray))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_camera(model: CameraModel) -> Camera {
+        Camera::look_at(
+            64,
+            48,
+            model,
+            Vec3::new(0.0, 0.0, 10.0),
+            Vec3::ZERO,
+            Vec3::Y,
+        )
+    }
+
+    #[test]
+    fn center_pixel_looks_at_target() {
+        let cam = test_camera(CameraModel::Pinhole { fov_y: 0.8 });
+        let ray = cam.primary_ray(32, 24).unwrap();
+        // Center ray should point from eye towards the origin.
+        let expected = (Vec3::ZERO - cam.eye()).normalized();
+        assert!((ray.direction - expected).length() < 0.05);
+    }
+
+    #[test]
+    fn rays_start_at_eye() {
+        let cam = test_camera(CameraModel::Pinhole { fov_y: 0.8 });
+        for (_, ray) in cam.rays().take(10) {
+            assert_eq!(ray.origin, cam.eye());
+        }
+    }
+
+    #[test]
+    fn pinhole_covers_every_pixel() {
+        let cam = test_camera(CameraModel::Pinhole { fov_y: 0.8 });
+        assert_eq!(cam.rays().count(), cam.pixel_count());
+    }
+
+    #[test]
+    fn fisheye_drops_corner_pixels() {
+        let cam = test_camera(CameraModel::Fisheye { max_theta: 1.5 });
+        assert!(cam.primary_ray(0, 0).is_none(), "corner outside image circle");
+        assert!(cam.primary_ray(32, 24).is_some(), "center inside");
+        assert!(cam.rays().count() < cam.pixel_count());
+    }
+
+    #[test]
+    fn wider_fov_spreads_rays() {
+        let narrow = test_camera(CameraModel::Pinhole { fov_y: 0.3 });
+        let wide = test_camera(CameraModel::Pinhole { fov_y: 1.2 });
+        let spread = |cam: &Camera| {
+            let a = cam.primary_ray(0, 24).unwrap().direction;
+            let b = cam.primary_ray(63, 24).unwrap().direction;
+            a.dot(b)
+        };
+        // Smaller dot product = wider angular spread.
+        assert!(spread(&wide) < spread(&narrow));
+    }
+
+    #[test]
+    fn directions_are_normalized() {
+        let cam = test_camera(CameraModel::Fisheye { max_theta: 1.2 });
+        for (_, ray) in cam.rays().take(100) {
+            assert!((ray.direction.length() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn profile_camera_uses_table2_resolution() {
+        let p = crate::profile::SceneKind::Bonsai.profile();
+        let cam = Camera::for_profile(&p);
+        assert_eq!((cam.width, cam.height), (1559, 1039));
+    }
+}

@@ -1,0 +1,239 @@
+//! Secondary-ray effect objects (Fig. 23).
+//!
+//! The paper augments each scene with "a spherical glass object for
+//! refractions and a rectangular mirror for reflections, both placed at
+//! random locations". Rays hitting these objects spawn secondary rays that
+//! then trace the Gaussian scene again — the workload GRTX-HW is shown to
+//! accelerate independent of ray coherence.
+
+use grtx_math::intersect::{ray_quad, ray_sphere};
+use grtx_math::{Ray, Vec3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Refractive index of the glass sphere (crown glass).
+pub const GLASS_IOR: f32 = 1.5;
+
+/// A refractive glass sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlassSphere {
+    /// Sphere center.
+    pub center: Vec3,
+    /// Sphere radius.
+    pub radius: f32,
+}
+
+/// A perfectly reflective rectangular mirror.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorQuad {
+    /// One corner of the rectangle.
+    pub corner: Vec3,
+    /// First edge vector.
+    pub edge_u: Vec3,
+    /// Second edge vector.
+    pub edge_v: Vec3,
+}
+
+/// What a primary ray hit among the effect objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EffectHit {
+    /// Hit the glass sphere at distance `t`; the secondary ray is the
+    /// refracted continuation.
+    Glass {
+        /// Hit distance.
+        t: f32,
+        /// The refracted (or totally internally reflected) secondary ray.
+        secondary: Ray,
+    },
+    /// Hit the mirror at distance `t`; the secondary ray is the
+    /// reflection.
+    Mirror {
+        /// Hit distance.
+        t: f32,
+        /// The reflected secondary ray.
+        secondary: Ray,
+    },
+}
+
+impl EffectHit {
+    /// Hit distance of either variant.
+    pub fn t(&self) -> f32 {
+        match self {
+            EffectHit::Glass { t, .. } | EffectHit::Mirror { t, .. } => *t,
+        }
+    }
+
+    /// The spawned secondary ray.
+    pub fn secondary(&self) -> Ray {
+        match self {
+            EffectHit::Glass { secondary, .. } | EffectHit::Mirror { secondary, .. } => *secondary,
+        }
+    }
+}
+
+/// The pair of effect objects added to a scene for Fig. 23.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffectObjects {
+    /// Refracting sphere.
+    pub glass: GlassSphere,
+    /// Reflecting rectangle.
+    pub mirror: MirrorQuad,
+}
+
+impl EffectObjects {
+    /// Places the objects pseudo-randomly inside a scene of the given
+    /// half-extent, deterministically from `seed` (mirroring the paper's
+    /// "random locations").
+    pub fn place_in(half_extent: Vec3, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let scale = half_extent.max_element();
+        let glass = GlassSphere {
+            center: Vec3::new(
+                rng.gen_range(-0.4..0.4) * half_extent.x,
+                rng.gen_range(-0.2..0.3) * half_extent.y,
+                rng.gen_range(-0.4..0.4) * half_extent.z,
+            ),
+            radius: scale * rng.gen_range(0.06..0.12),
+        };
+        let corner = Vec3::new(
+            rng.gen_range(-0.5..0.5) * half_extent.x,
+            rng.gen_range(-0.4..0.1) * half_extent.y,
+            rng.gen_range(-0.5..0.5) * half_extent.z,
+        );
+        let w = scale * rng.gen_range(0.2..0.4);
+        let h = scale * rng.gen_range(0.15..0.3);
+        // Mirror stands vertically with a random yaw.
+        let yaw: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+        let edge_u = Vec3::new(yaw.cos(), 0.0, yaw.sin()) * w;
+        let edge_v = Vec3::new(0.0, 1.0, 0.0) * h;
+        Self {
+            glass,
+            mirror: MirrorQuad { corner, edge_u, edge_v },
+        }
+    }
+
+    /// Tests a ray against both objects, returning the nearest hit and its
+    /// secondary ray.
+    pub fn intersect(&self, ray: &Ray) -> Option<EffectHit> {
+        let glass_hit = ray_sphere(ray, self.glass.center, self.glass.radius)
+            .filter(|h| h.t_enter > 1e-4)
+            .map(|h| {
+                let p = ray.at(h.t_enter);
+                let n = (p - self.glass.center).normalized();
+                let secondary = refract_or_reflect(ray.direction, n, 1.0 / GLASS_IOR, p);
+                EffectHit::Glass { t: h.t_enter, secondary }
+            });
+        let mirror_hit = ray_quad(ray, self.mirror.corner, self.mirror.edge_u, self.mirror.edge_v)
+            .filter(|&t| t > 1e-4)
+            .map(|t| {
+                let p = ray.at(t);
+                let n = self.mirror.edge_u.cross(self.mirror.edge_v).normalized();
+                let d = reflect(ray.direction, n);
+                EffectHit::Mirror { t, secondary: Ray::new(p + d * 1e-3, d) }
+            });
+        match (glass_hit, mirror_hit) {
+            (Some(g), Some(m)) => Some(if g.t() <= m.t() { g } else { m }),
+            (hit, None) | (None, hit) => hit,
+        }
+    }
+}
+
+/// Mirror reflection of `d` about normal `n`.
+pub fn reflect(d: Vec3, n: Vec3) -> Vec3 {
+    d - n * (2.0 * d.dot(n))
+}
+
+/// Snell refraction of direction `d` at normal `n` with relative index
+/// `eta`; falls back to reflection on total internal reflection.
+fn refract_or_reflect(d: Vec3, n: Vec3, eta: f32, p: Vec3) -> Ray {
+    let n = if d.dot(n) > 0.0 { -n } else { n };
+    let cos_i = -d.dot(n);
+    let sin2_t = eta * eta * (1.0 - cos_i * cos_i);
+    let dir = if sin2_t > 1.0 {
+        reflect(d, n)
+    } else {
+        (d * eta + n * (eta * cos_i - (1.0 - sin2_t).sqrt())).normalized()
+    };
+    Ray::new(p + dir * 1e-3, dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = EffectObjects::place_in(Vec3::splat(10.0), 5);
+        let b = EffectObjects::place_in(Vec3::splat(10.0), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reflect_preserves_length_and_flips_normal_component() {
+        let d = Vec3::new(1.0, -1.0, 0.0).normalized();
+        let r = reflect(d, Vec3::Y);
+        assert!((r.length() - 1.0).abs() < 1e-6);
+        assert!((r.y - (-d.y)).abs() < 1e-6);
+        assert!((r.x - d.x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mirror_hit_produces_reflected_secondary() {
+        let objects = EffectObjects {
+            glass: GlassSphere { center: Vec3::new(100.0, 0.0, 0.0), radius: 0.1 },
+            mirror: MirrorQuad {
+                corner: Vec3::new(-1.0, -1.0, 0.0),
+                edge_u: Vec3::new(2.0, 0.0, 0.0),
+                edge_v: Vec3::new(0.0, 2.0, 0.0),
+            },
+        };
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::Z);
+        let hit = objects.intersect(&ray).expect("mirror hit");
+        match hit {
+            EffectHit::Mirror { t, secondary } => {
+                assert!((t - 3.0).abs() < 1e-5);
+                assert!((secondary.direction - (-Vec3::Z)).length() < 1e-5);
+            }
+            other => panic!("expected mirror hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn glass_hit_bends_ray_towards_normal() {
+        let objects = EffectObjects {
+            glass: GlassSphere { center: Vec3::ZERO, radius: 1.0 },
+            mirror: MirrorQuad {
+                corner: Vec3::new(100.0, 0.0, 0.0),
+                edge_u: Vec3::X,
+                edge_v: Vec3::Y,
+            },
+        };
+        // Oblique incidence.
+        let dir = Vec3::new(0.3, 0.0, 1.0).normalized();
+        let ray = Ray::new(Vec3::new(-0.3, 0.0, -3.0), dir);
+        let hit = objects.intersect(&ray).expect("glass hit");
+        let secondary = hit.secondary();
+        // Entering denser medium: the refracted ray aligns closer to the
+        // inward surface normal than the incident ray did.
+        let p = ray.at(hit.t());
+        let n_in = -(p - Vec3::ZERO).normalized();
+        assert!(secondary.direction.dot(n_in) > dir.dot(n_in) - 1e-5);
+    }
+
+    #[test]
+    fn nearest_object_wins() {
+        let objects = EffectObjects {
+            glass: GlassSphere { center: Vec3::new(0.0, 0.0, 2.0), radius: 0.5 },
+            mirror: MirrorQuad {
+                corner: Vec3::new(-1.0, -1.0, 5.0),
+                edge_u: Vec3::new(2.0, 0.0, 0.0),
+                edge_v: Vec3::new(0.0, 2.0, 0.0),
+            },
+        };
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -1.0), Vec3::Z);
+        match objects.intersect(&ray).expect("hit") {
+            EffectHit::Glass { .. } => {}
+            other => panic!("glass is nearer, got {other:?}"),
+        }
+    }
+}

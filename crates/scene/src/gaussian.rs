@@ -1,0 +1,330 @@
+//! The anisotropic Gaussian primitive and scene container.
+
+use crate::sh::ShCoeffs;
+use grtx_math::{Aabb, Affine3, Mat3, Quat, Ray, Vec3};
+
+/// Default bounding radius in units of standard deviation.
+///
+/// 3DGRT encloses each Gaussian in an ellipsoid at ~3σ before building the
+/// acceleration structure; responses outside are treated as zero.
+pub const DEFAULT_SIGMA_BOUND: f32 = 3.0;
+
+/// One anisotropic 3D Gaussian, parameterized exactly as 3DGS/3DGRT
+/// checkpoints: mean, rotation quaternion, per-axis scale (standard
+/// deviations), opacity, and SH appearance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gaussian {
+    /// Center position µ.
+    pub mean: Vec3,
+    /// Orientation of the principal axes.
+    pub rotation: Quat,
+    /// Per-axis standard deviations (σx, σy, σz), all strictly positive.
+    pub scale: Vec3,
+    /// Opacity `o` in `(0, 1]`.
+    pub opacity: f32,
+    /// View-dependent appearance.
+    pub sh: ShCoeffs,
+}
+
+impl Gaussian {
+    /// Creates an isotropic Gaussian with a flat color — convenient for
+    /// tests and examples.
+    pub fn isotropic(mean: Vec3, sigma: f32, opacity: f32, color: Vec3) -> Self {
+        Self {
+            mean,
+            rotation: Quat::IDENTITY,
+            scale: Vec3::splat(sigma),
+            opacity,
+            sh: ShCoeffs::from_color(color),
+        }
+    }
+
+    /// The covariance factor `M = R · diag(σ)`, so `Σ = M Mᵀ`.
+    pub fn covariance_factor(&self) -> Mat3 {
+        self.rotation.to_mat3().mul_mat3(&Mat3::from_diagonal(self.scale))
+    }
+
+    /// World-to-canonical map `M⁻¹ = diag(1/σ) · Rᵀ`: maps the 1σ
+    /// iso-surface to the unit sphere.
+    pub fn world_to_canonical(&self) -> Mat3 {
+        Mat3::from_diagonal(Vec3::new(
+            1.0 / self.scale.x,
+            1.0 / self.scale.y,
+            1.0 / self.scale.z,
+        ))
+        .mul_mat3(&self.rotation.to_mat3().transpose())
+    }
+
+    /// Instance transform for the shared-BLAS TLAS (GRTX-SW): maps the
+    /// unit sphere onto this Gaussian's `sigma_bound`·σ bounding
+    /// ellipsoid.
+    ///
+    /// Returns `None` for degenerate scales, which scene loading filters
+    /// out.
+    pub fn instance_transform(&self, sigma_bound: f32) -> Option<Affine3> {
+        let linear = self
+            .rotation
+            .to_mat3()
+            .mul_mat3(&Mat3::from_diagonal(self.scale * sigma_bound));
+        Affine3::new(linear, self.mean)
+    }
+
+    /// World-space AABB of the `sigma_bound`·σ bounding ellipsoid.
+    ///
+    /// Uses the exact ellipsoid bound: the half-extent along axis `i` is
+    /// `sigma_bound * sqrt(Σ_ii)`, i.e. the row norms of the covariance
+    /// factor.
+    pub fn world_aabb(&self, sigma_bound: f32) -> Aabb {
+        let m = self.covariance_factor();
+        let half = Vec3::new(m.row(0).length(), m.row(1).length(), m.row(2).length()) * sigma_bound;
+        Aabb::from_center_half_extent(self.mean, half)
+    }
+
+    /// The evaluation point `t_alpha` where the Gaussian achieves maximum
+    /// response along the ray (paper Section III-A):
+    ///
+    /// `t_alpha = (µ − r_o)ᵀ Σ⁻¹ r_d / (r_dᵀ Σ⁻¹ r_d)`.
+    ///
+    /// Computed in canonical space: with `o_g = M⁻¹(r_o − µ)` and
+    /// `d_g = M⁻¹ r_d`, this is `−o_g·d_g / d_g·d_g`.
+    pub fn t_alpha(&self, ray: &Ray) -> f32 {
+        let inv = self.world_to_canonical();
+        let og = inv.mul_vec3(ray.origin - self.mean);
+        let dg = inv.mul_vec3(ray.direction);
+        let denom = dg.dot(dg);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        -og.dot(dg) / denom
+    }
+
+    /// The Gaussian response `G(r_o + t·r_d)` at parameter `t`, in
+    /// `(0, 1]`.
+    pub fn response_at(&self, ray: &Ray, t: f32) -> f32 {
+        let inv = self.world_to_canonical();
+        let p = inv.mul_vec3(ray.at(t) - self.mean);
+        (-0.5 * p.dot(p)).exp()
+    }
+
+    /// The blending alpha for this ray: `α = o · G(r_o + t_alpha · r_d)`,
+    /// clamped to `0.999` as 3DGS does to keep transmittance positive.
+    pub fn alpha_along(&self, ray: &Ray) -> f32 {
+        let t = self.t_alpha(ray);
+        (self.opacity * self.response_at(ray, t)).min(0.999)
+    }
+
+    /// View-dependent color for a ray direction.
+    pub fn color(&self, dir: Vec3) -> Vec3 {
+        self.sh.eval(dir)
+    }
+
+    /// `true` if the parameters are usable (positive scales/opacity,
+    /// finite mean).
+    pub fn is_valid(&self) -> bool {
+        self.mean.is_finite()
+            && self.scale.x > 0.0
+            && self.scale.y > 0.0
+            && self.scale.z > 0.0
+            && self.opacity > 0.0
+            && self.opacity <= 1.0
+    }
+}
+
+/// A flat container of Gaussians plus cached scene-level data.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianScene {
+    gaussians: Vec<Gaussian>,
+    /// Bounding radius multiplier used when building acceleration
+    /// structures.
+    sigma_bound: f32,
+}
+
+impl GaussianScene {
+    /// Creates a scene from Gaussians, dropping invalid ones, with the
+    /// default 3σ bounding radius.
+    pub fn new(gaussians: Vec<Gaussian>) -> Self {
+        Self::with_sigma_bound(gaussians, DEFAULT_SIGMA_BOUND)
+    }
+
+    /// Creates a scene with an explicit bounding radius multiplier.
+    pub fn with_sigma_bound(gaussians: Vec<Gaussian>, sigma_bound: f32) -> Self {
+        let gaussians = gaussians.into_iter().filter(Gaussian::is_valid).collect();
+        Self { gaussians, sigma_bound }
+    }
+
+    /// Number of Gaussians.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// `true` if the scene has no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// The bounding radius multiplier (σ units).
+    pub fn sigma_bound(&self) -> f32 {
+        self.sigma_bound
+    }
+
+    /// Gaussian accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn gaussian(&self, index: usize) -> &Gaussian {
+        &self.gaussians[index]
+    }
+
+    /// All Gaussians.
+    pub fn gaussians(&self) -> &[Gaussian] {
+        &self.gaussians
+    }
+
+    /// Iterator over `(index, world AABB)` pairs at the scene's bounding
+    /// radius — the input to both BVH construction paths.
+    pub fn world_aabbs(&self) -> impl Iterator<Item = (usize, Aabb)> + '_ {
+        self.gaussians
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i, g.world_aabb(self.sigma_bound)))
+    }
+
+    /// Instance transform of Gaussian `index` at the scene bounding
+    /// radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or the Gaussian is degenerate
+    /// (excluded by construction).
+    pub fn instance_transform(&self, index: usize) -> Affine3 {
+        self.gaussians[index]
+            .instance_transform(self.sigma_bound)
+            .expect("scene construction filters degenerate Gaussians")
+    }
+
+    /// World-space bounds of the whole scene.
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for (_, aabb) in self.world_aabbs() {
+            b = b.union(&aabb);
+        }
+        b
+    }
+}
+
+impl FromIterator<Gaussian> for GaussianScene {
+    fn from_iter<T: IntoIterator<Item = Gaussian>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_gaussian() -> Gaussian {
+        Gaussian {
+            mean: Vec3::new(1.0, 2.0, 3.0),
+            rotation: Quat::from_axis_angle(Vec3::new(0.2, 1.0, 0.4), 0.9),
+            scale: Vec3::new(0.5, 0.2, 1.5),
+            opacity: 0.8,
+            sh: ShCoeffs::from_color(Vec3::new(0.9, 0.1, 0.2)),
+        }
+    }
+
+    #[test]
+    fn response_is_max_at_t_alpha() {
+        let g = test_gaussian();
+        let ray = Ray::new(Vec3::new(-3.0, 0.0, 0.0), Vec3::new(0.9, 0.4, 0.6).normalized());
+        let t = g.t_alpha(&ray);
+        let peak = g.response_at(&ray, t);
+        for dt in [-0.5, -0.1, 0.1, 0.5] {
+            assert!(peak >= g.response_at(&ray, t + dt), "peak not maximal at dt={dt}");
+        }
+    }
+
+    #[test]
+    fn response_at_mean_is_one() {
+        let g = test_gaussian();
+        let dir = Vec3::new(0.0, 0.0, 1.0);
+        let ray = Ray::new(g.mean - dir * 5.0, dir);
+        assert!((g.response_at(&ray, 5.0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alpha_never_exceeds_cap() {
+        let mut g = test_gaussian();
+        g.opacity = 1.0;
+        let dir = Vec3::Z;
+        let ray = Ray::new(g.mean - dir * 5.0, dir);
+        assert!(g.alpha_along(&ray) <= 0.999);
+    }
+
+    #[test]
+    fn world_aabb_contains_bounding_ellipsoid_surface() {
+        let g = test_gaussian();
+        let bound = 3.0;
+        let aabb = g.world_aabb(bound);
+        let m = g.covariance_factor();
+        // Sample points on the 3σ ellipsoid surface.
+        for i in 0..32 {
+            let theta = i as f32 * 0.39;
+            let phi = i as f32 * 0.77;
+            let p = Vec3::new(
+                theta.sin() * phi.cos(),
+                theta.sin() * phi.sin(),
+                theta.cos(),
+            );
+            let world = m.mul_vec3(p * bound) + g.mean;
+            assert!(
+                aabb.contains_point(world),
+                "surface point {world} escapes AABB"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_transform_maps_unit_sphere_to_bound() {
+        let g = test_gaussian();
+        let inst = g.instance_transform(3.0).expect("valid");
+        // Unit-sphere pole maps to a point at 3σ in canonical distance.
+        let world = inst.transform_point(Vec3::Z);
+        let canonical = g.world_to_canonical().mul_vec3(world - g.mean);
+        assert!((canonical.length() - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scene_filters_invalid_gaussians() {
+        let mut bad = test_gaussian();
+        bad.scale.y = 0.0;
+        let scene = GaussianScene::new(vec![test_gaussian(), bad]);
+        assert_eq!(scene.len(), 1);
+    }
+
+    #[test]
+    fn scene_bounds_contain_all_means() {
+        let scene: GaussianScene = (0..10)
+            .map(|i| Gaussian::isotropic(Vec3::splat(i as f32), 0.1, 0.5, Vec3::ONE))
+            .collect();
+        let b = scene.bounds();
+        for g in scene.gaussians() {
+            assert!(b.contains_point(g.mean));
+        }
+    }
+
+    #[test]
+    fn t_alpha_matches_direct_covariance_formula() {
+        // Cross-check the canonical-space evaluation against the paper's
+        // direct formula with Σ⁻¹.
+        let g = test_gaussian();
+        let ray = Ray::new(Vec3::new(-2.0, 1.0, 0.5), Vec3::new(0.5, 0.1, 0.85).normalized());
+        let m = g.covariance_factor();
+        let sigma = m.mul_self_transpose();
+        let sigma_inv = sigma.inverse().expect("invertible");
+        let diff = g.mean - ray.origin;
+        let expected = diff.dot(sigma_inv.mul_vec3(ray.direction))
+            / ray.direction.dot(sigma_inv.mul_vec3(ray.direction));
+        assert!((g.t_alpha(&ray) - expected).abs() < 1e-3 * (1.0 + expected.abs()));
+    }
+}

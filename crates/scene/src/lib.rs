@@ -1,0 +1,45 @@
+//! 3D Gaussian scenes for the GRTX reproduction.
+//!
+//! This crate provides:
+//!
+//! * [`Gaussian`] — the anisotropic Gaussian primitive of 3DGS/3DGRT
+//!   (mean, rotation, scale, opacity, spherical-harmonic appearance) and
+//!   its response/alpha math (the `t_alpha` evaluation of the paper's
+//!   Section III-A);
+//! * [`GaussianScene`] — a flat scene container plus derived quantities
+//!   (instance transforms, world-space bounds);
+//! * [`camera`] — pinhole and fisheye (equidistant) camera models; the
+//!   fisheye model is one of the motivations for ray tracing Gaussians;
+//! * [`mesh`] — icosahedron / icosphere template meshes used as bounding
+//!   proxies (20-tri and 80-tri variants from the paper);
+//! * [`profile`] + [`synth`] — statistical profiles of the six evaluation
+//!   scenes (Train, Truck, Bonsai, Room, Drjohnson, Playroom) and the
+//!   synthetic generator that reproduces their traversal-relevant
+//!   characteristics (see DESIGN.md §2 for the substitution argument);
+//! * [`effects`] — the glass sphere and mirror quad added for the
+//!   secondary-ray experiment (Fig. 23).
+//!
+//! # Examples
+//!
+//! ```
+//! use grtx_scene::{SceneKind, synth::generate_scene};
+//!
+//! // A miniature Bonsai-statistics scene for tests.
+//! let scene = generate_scene(SceneKind::Bonsai.profile().with_gaussian_budget(500), 42);
+//! assert_eq!(scene.len(), 500);
+//! ```
+
+pub mod camera;
+pub mod effects;
+pub mod gaussian;
+pub mod mesh;
+pub mod profile;
+pub mod sh;
+pub mod synth;
+
+pub use camera::{Camera, CameraModel};
+pub use effects::EffectObjects;
+pub use gaussian::{Gaussian, GaussianScene};
+pub use mesh::TemplateMesh;
+pub use profile::{SceneKind, SceneProfile};
+pub use sh::ShCoeffs;

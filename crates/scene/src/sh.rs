@@ -1,0 +1,171 @@
+//! Real spherical harmonics for view-dependent Gaussian color.
+//!
+//! 3DGRT evaluates per-ray colors from SH coefficients and the ray
+//! direction at render time (paper Section III-A, "Alpha Blending"),
+//! instead of precomputing colors as rasterization does. We implement the
+//! standard real SH basis up to degree 3 (16 coefficients), matching 3DGS
+//! checkpoints.
+
+use grtx_math::Vec3;
+
+/// Number of SH coefficients at the maximum supported degree (3).
+pub const MAX_COEFFS: usize = 16;
+
+/// Hard-coded real SH basis constants (degree ≤ 3), identical to the
+/// constants in the 3DGS reference CUDA kernels.
+const SH_C0: f32 = 0.282_094_79;
+const SH_C1: f32 = 0.488_602_51;
+const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C3: [f32; 7] = [
+    -0.590_043_6,
+    2.890_611_4,
+    -0.457_045_8,
+    0.373_176_33,
+    -0.457_045_8,
+    1.445_305_7,
+    -0.590_043_6,
+];
+
+/// Per-Gaussian RGB spherical-harmonic coefficients.
+///
+/// Coefficients above the active `degree` are stored but ignored during
+/// evaluation, mirroring how 3DGS progressively unlocks SH degrees during
+/// training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShCoeffs {
+    /// Active SH degree in `0..=3`.
+    degree: u8,
+    /// RGB coefficient per basis function.
+    coeffs: [Vec3; MAX_COEFFS],
+}
+
+impl ShCoeffs {
+    /// Creates degree-0 (view-independent) coefficients from a base color.
+    ///
+    /// The DC term is chosen so that evaluation returns `color` for any
+    /// direction: `eval = SH_C0 * c0 + 0.5`.
+    pub fn from_color(color: Vec3) -> Self {
+        let mut coeffs = [Vec3::ZERO; MAX_COEFFS];
+        coeffs[0] = (color - Vec3::splat(0.5)) / SH_C0;
+        Self { degree: 0, coeffs }
+    }
+
+    /// Creates coefficients with an explicit degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree > 3`.
+    pub fn new(degree: u8, coeffs: [Vec3; MAX_COEFFS]) -> Self {
+        assert!(degree <= 3, "SH degree must be at most 3, got {degree}");
+        Self { degree, coeffs }
+    }
+
+    /// Active SH degree.
+    pub fn degree(&self) -> u8 {
+        self.degree
+    }
+
+    /// Raw coefficient access.
+    pub fn coeffs(&self) -> &[Vec3; MAX_COEFFS] {
+        &self.coeffs
+    }
+
+    /// Number of coefficients the active degree uses.
+    pub fn active_len(&self) -> usize {
+        ((self.degree as usize) + 1) * ((self.degree as usize) + 1)
+    }
+
+    /// Evaluates the view-dependent color for a (normalized) view
+    /// direction, clamped to non-negative values as the 3DGS renderer does
+    /// (`max(0, eval + 0.5)`).
+    pub fn eval(&self, dir: Vec3) -> Vec3 {
+        let c = &self.coeffs;
+        let mut result = c[0] * SH_C0;
+        if self.degree >= 1 {
+            let (x, y, z) = (dir.x, dir.y, dir.z);
+            result += c[1] * (-SH_C1 * y) + c[2] * (SH_C1 * z) + c[3] * (-SH_C1 * x);
+            if self.degree >= 2 {
+                let (xx, yy, zz) = (x * x, y * y, z * z);
+                let (xy, yz, xz) = (x * y, y * z, x * z);
+                result += c[4] * (SH_C2[0] * xy)
+                    + c[5] * (SH_C2[1] * yz)
+                    + c[6] * (SH_C2[2] * (2.0 * zz - xx - yy))
+                    + c[7] * (SH_C2[3] * xz)
+                    + c[8] * (SH_C2[4] * (xx - yy));
+                if self.degree >= 3 {
+                    result += c[9] * (SH_C3[0] * y * (3.0 * xx - yy))
+                        + c[10] * (SH_C3[1] * xy * z)
+                        + c[11] * (SH_C3[2] * y * (4.0 * zz - xx - yy))
+                        + c[12] * (SH_C3[3] * z * (2.0 * zz - 3.0 * xx - 3.0 * yy))
+                        + c[13] * (SH_C3[4] * x * (4.0 * zz - xx - yy))
+                        + c[14] * (SH_C3[5] * z * (xx - yy))
+                        + c[15] * (SH_C3[6] * x * (xx - 3.0 * yy));
+                }
+            }
+        }
+        result += Vec3::splat(0.5);
+        result.max(Vec3::ZERO)
+    }
+}
+
+impl Default for ShCoeffs {
+    fn default() -> Self {
+        Self::from_color(Vec3::splat(0.5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree0_is_view_independent() {
+        let sh = ShCoeffs::from_color(Vec3::new(0.8, 0.3, 0.1));
+        let a = sh.eval(Vec3::Z);
+        let b = sh.eval(Vec3::new(1.0, 1.0, 1.0).normalized());
+        assert!((a - b).length() < 1e-6);
+        assert!((a - Vec3::new(0.8, 0.3, 0.1)).length() < 1e-5);
+    }
+
+    #[test]
+    fn eval_is_clamped_non_negative() {
+        let sh = ShCoeffs::from_color(Vec3::new(-5.0, 0.5, 0.5));
+        let c = sh.eval(Vec3::X);
+        assert!(c.x >= 0.0 && c.y >= 0.0 && c.z >= 0.0);
+    }
+
+    #[test]
+    fn degree1_varies_with_direction() {
+        let mut coeffs = [Vec3::ZERO; MAX_COEFFS];
+        coeffs[0] = Vec3::splat(0.0);
+        coeffs[2] = Vec3::new(1.0, 0.0, 0.0); // z-linear red band
+        let sh = ShCoeffs::new(1, coeffs);
+        let up = sh.eval(Vec3::Z);
+        let down = sh.eval(-Vec3::Z);
+        assert!(up.x > down.x, "red should increase towards +z");
+    }
+
+    #[test]
+    fn active_len_matches_degree() {
+        assert_eq!(ShCoeffs::from_color(Vec3::ZERO).active_len(), 1);
+        let sh3 = ShCoeffs::new(3, [Vec3::ZERO; MAX_COEFFS]);
+        assert_eq!(sh3.active_len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "SH degree")]
+    fn degree_above_3_panics() {
+        let _ = ShCoeffs::new(4, [Vec3::ZERO; MAX_COEFFS]);
+    }
+
+    #[test]
+    fn higher_degree_terms_ignored_below_degree() {
+        let mut coeffs = [Vec3::ZERO; MAX_COEFFS];
+        coeffs[0] = Vec3::splat(1.0);
+        coeffs[9] = Vec3::splat(100.0); // degree-3 coefficient
+        let sh1 = ShCoeffs::new(1, coeffs);
+        let sh3 = ShCoeffs::new(3, coeffs);
+        let d = Vec3::new(0.3, 0.5, 0.8).normalized();
+        assert_ne!(sh1.eval(d), sh3.eval(d));
+    }
+}

@@ -1,0 +1,263 @@
+//! Synthetic scene generation from [`SceneProfile`]s.
+//!
+//! Sampling is fully deterministic given `(profile, seed)` so every
+//! experiment, test, and bench sees the same scene.
+
+use crate::gaussian::{Gaussian, GaussianScene};
+use crate::profile::SceneProfile;
+use crate::sh::{MAX_COEFFS, ShCoeffs};
+use grtx_math::{Quat, Vec3};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a deterministic synthetic scene from a profile.
+///
+/// The scene contains three Gaussian populations:
+///
+/// 1. **clustered** — `cluster_fraction` of the budget in
+///    `cluster_count` dense isotropic blobs (Bonsai-style foliage);
+/// 2. **large** — `large_fraction` as greatly enlarged, highly
+///    anisotropic Gaussians (Drjohnson/Playroom-style walls);
+/// 3. **background** — the rest spread uniformly through the extent
+///    (Train/Truck-style streetscape).
+pub fn generate_scene(profile: SceneProfile, seed: u64) -> GaussianScene {
+    let mut rng = SmallRng::seed_from_u64(seed ^ scene_salt(&profile));
+    let n = profile.gaussian_budget;
+    let n_clustered = ((n as f32) * profile.cluster_fraction) as usize;
+    let n_large = ((n as f32) * profile.large_fraction) as usize;
+    let n_uniform = n.saturating_sub(n_clustered + n_large);
+
+    let half = profile.half_extent;
+    let cluster_radius = half.max_element() * profile.cluster_radius_frac;
+
+    // Cluster centers concentrate in the camera-facing half of the scene so
+    // rays actually traverse the dense regions (as they do in Bonsai).
+    let cluster_centers: Vec<Vec3> = (0..profile.cluster_count.max(1))
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-0.7..0.7) * half.x,
+                rng.gen_range(-0.6..0.4) * half.y,
+                rng.gen_range(-0.7..0.7) * half.z,
+            )
+        })
+        .collect();
+
+    let mut gaussians = Vec::with_capacity(n);
+
+    for i in 0..n_clustered {
+        let center = cluster_centers[i % cluster_centers.len()];
+        let mean = center + sample_gaussian_vec(&mut rng) * cluster_radius;
+        // Cluster members are smaller than background Gaussians.
+        let sigma = sample_log_normal(&mut rng, profile.sigma_log_mean - 0.4, profile.sigma_log_std);
+        gaussians.push(sample_gaussian(&mut rng, &profile, mean, sigma, 1.0));
+    }
+
+    for _ in 0..n_large {
+        let mean = sample_uniform_in(&mut rng, half);
+        let sigma = sample_log_normal(&mut rng, profile.sigma_log_mean, profile.sigma_log_std)
+            * profile.large_sigma_mult;
+        // Walls are flattened: exaggerate anisotropy.
+        gaussians.push(sample_gaussian(&mut rng, &profile, mean, sigma, 2.0));
+    }
+
+    for _ in 0..n_uniform {
+        let mean = sample_uniform_in(&mut rng, half);
+        let sigma = sample_log_normal(&mut rng, profile.sigma_log_mean, profile.sigma_log_std);
+        gaussians.push(sample_gaussian(&mut rng, &profile, mean, sigma, 1.0));
+    }
+
+    GaussianScene::new(gaussians)
+}
+
+/// Mixes profile identity into the seed so different scenes generated with
+/// the same user seed do not correlate.
+fn scene_salt(profile: &SceneProfile) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in profile.kind.name().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= profile.gaussian_budget as u64;
+    h
+}
+
+fn sample_uniform_in(rng: &mut SmallRng, half: Vec3) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(-1.0..1.0) * half.x,
+        rng.gen_range(-1.0..1.0) * half.y,
+        rng.gen_range(-1.0..1.0) * half.z,
+    )
+}
+
+/// Standard normal 3-vector via Box–Muller.
+fn sample_gaussian_vec(rng: &mut SmallRng) -> Vec3 {
+    Vec3::new(
+        sample_standard_normal(rng),
+        sample_standard_normal(rng),
+        sample_standard_normal(rng),
+    )
+}
+
+fn sample_standard_normal(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    (-2.0 * u1.ln()).sqrt() * u2.cos()
+}
+
+fn sample_log_normal(rng: &mut SmallRng, log_mean: f32, log_std: f32) -> f32 {
+    (log_mean + log_std * sample_standard_normal(rng)).exp()
+}
+
+fn sample_gaussian(
+    rng: &mut SmallRng,
+    profile: &SceneProfile,
+    mean: Vec3,
+    base_sigma: f32,
+    anisotropy_boost: f32,
+) -> Gaussian {
+    let log_std = profile.anisotropy_log_std * anisotropy_boost;
+    let scale = Vec3::new(
+        base_sigma * (log_std * sample_standard_normal(rng)).exp(),
+        base_sigma * (log_std * sample_standard_normal(rng)).exp(),
+        base_sigma * (log_std * sample_standard_normal(rng)).exp(),
+    );
+    let axis = sample_gaussian_vec(rng);
+    let rotation = if axis.length() > 1e-4 {
+        Quat::from_axis_angle(axis, rng.gen_range(0.0..std::f32::consts::TAU))
+    } else {
+        Quat::IDENTITY
+    };
+    // Opacity distribution: trained scenes are bimodal (many near-opaque,
+    // a tail of faint Gaussians). A squared uniform gives a similar skew.
+    let u: f32 = rng.gen_range(0.0..1.0);
+    let opacity = (0.05 + 0.95 * u * u).min(0.999);
+
+    let sh = sample_sh(rng);
+
+    Gaussian { mean, rotation, scale: clamp_scale(scale), opacity, sh }
+}
+
+/// Degree-1 SH with a random base color and mild view dependence —
+/// enough to exercise the per-ray SH evaluation path without the storage
+/// cost of degree-3 coefficients for every synthetic Gaussian.
+fn sample_sh(rng: &mut SmallRng) -> ShCoeffs {
+    let base = Vec3::new(
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+        rng.gen_range(0.0..1.0),
+    );
+    let mut coeffs = [Vec3::ZERO; MAX_COEFFS];
+    coeffs[0] = (base - Vec3::splat(0.5)) / 0.282_094_79;
+    for c in coeffs.iter_mut().take(4).skip(1) {
+        *c = Vec3::new(
+            rng.gen_range(-0.2..0.2),
+            rng.gen_range(-0.2..0.2),
+            rng.gen_range(-0.2..0.2),
+        );
+    }
+    ShCoeffs::new(1, coeffs)
+}
+
+/// Keeps scales within a sane dynamic range so instance transforms remain
+/// invertible in f32.
+fn clamp_scale(scale: Vec3) -> Vec3 {
+    Vec3::new(
+        scale.x.clamp(1e-4, 1e3),
+        scale.y.clamp(1e-4, 1e3),
+        scale.z.clamp(1e-4, 1e3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SceneKind;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SceneKind::Train.profile().with_gaussian_budget(300);
+        let a = generate_scene(p.clone(), 7);
+        let b = generate_scene(p, 7);
+        assert_eq!(a.gaussians(), b.gaussians());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = SceneKind::Train.profile().with_gaussian_budget(300);
+        let a = generate_scene(p.clone(), 1);
+        let b = generate_scene(p, 2);
+        assert_ne!(a.gaussians()[0].mean, b.gaussians()[0].mean);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        for kind in SceneKind::ALL {
+            let scene = generate_scene(kind.profile().with_gaussian_budget(500), 3);
+            assert_eq!(scene.len(), 500, "{kind}");
+        }
+    }
+
+    #[test]
+    fn all_gaussians_valid() {
+        let scene = generate_scene(SceneKind::Drjohnson.profile().with_gaussian_budget(2000), 11);
+        assert_eq!(scene.len(), 2000, "no Gaussian should be filtered as invalid");
+    }
+
+    #[test]
+    fn means_stay_near_extent() {
+        let p = SceneKind::Room.profile().with_gaussian_budget(1000);
+        let half = p.half_extent;
+        let scene = generate_scene(p, 5);
+        // Clustered points can leak slightly outside via the normal tail;
+        // allow 2 cluster radii of slack.
+        let slack = half.max_element() * 0.5;
+        for g in scene.gaussians() {
+            assert!(g.mean.x.abs() <= half.x + slack);
+            assert!(g.mean.y.abs() <= half.y + slack);
+            assert!(g.mean.z.abs() <= half.z + slack);
+        }
+    }
+
+    #[test]
+    fn drjohnson_has_larger_tail_than_train() {
+        let budget = 4000;
+        let dj = generate_scene(SceneKind::Drjohnson.profile().with_gaussian_budget(budget), 9);
+        let train = generate_scene(SceneKind::Train.profile().with_gaussian_budget(budget), 9);
+        let p99 = |s: &GaussianScene| {
+            let mut sizes: Vec<f32> = s
+                .gaussians()
+                .iter()
+                .map(|g| g.scale.max_element())
+                .collect();
+            sizes.sort_by(f32::total_cmp);
+            sizes[(sizes.len() * 99) / 100]
+        };
+        assert!(
+            p99(&dj) > p99(&train),
+            "Drjohnson should have a heavier large-Gaussian tail"
+        );
+    }
+
+    #[test]
+    fn bonsai_is_denser_than_truck() {
+        // Median nearest-cluster concentration proxy: mean pairwise
+        // distance of a sample should be smaller for Bonsai relative to
+        // its extent.
+        let budget = 1500;
+        let bonsai = generate_scene(SceneKind::Bonsai.profile().with_gaussian_budget(budget), 4);
+        let truck = generate_scene(SceneKind::Truck.profile().with_gaussian_budget(budget), 4);
+        let spread = |s: &GaussianScene, half: Vec3| {
+            let m = s.gaussians().len().min(200);
+            let mut total = 0.0;
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    total += (s.gaussians()[i].mean - s.gaussians()[j].mean).length();
+                }
+            }
+            total / ((m * (m - 1) / 2) as f32) / half.max_element()
+        };
+        let b = spread(&bonsai, SceneKind::Bonsai.profile().half_extent);
+        let t = spread(&truck, SceneKind::Truck.profile().half_extent);
+        assert!(b < t, "Bonsai relative spread {b} should be below Truck {t}");
+    }
+}

@@ -1,0 +1,230 @@
+//! The L1 / L2 / DRAM memory hierarchy.
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::fasthash::FastSet;
+
+/// Classification of memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Acceleration-structure fetches (nodes, primitives, instances) —
+    /// the traffic Figs. 14–17 count.
+    Structure,
+    /// Checkpoint / eviction buffer traffic in global memory (kept out
+    /// of the node-fetch statistics, as in the paper).
+    Buffer,
+}
+
+/// Per-SM L1s over a shared L2 over DRAM.
+#[derive(Debug)]
+pub struct MemorySystem {
+    l1: Vec<Cache>,
+    l2: Cache,
+    line_bytes: u64,
+    l1_latency: u64,
+    l2_latency: u64,
+    dram_latency: u64,
+    sibling_prefetch: bool,
+    /// Unique structure lines ever touched (the "BVH memory footprint"
+    /// row of Table II).
+    touched_lines: FastSet<u64>,
+    /// L2 accesses attributable to structure fetches (Fig. 17).
+    pub l2_structure_accesses: u64,
+    /// L2 hits for structure fetches.
+    pub l2_structure_hits: u64,
+    /// DRAM accesses for structure fetches.
+    pub dram_structure_accesses: u64,
+    /// L1 accesses / hits for structure fetches (Fig. 16).
+    pub l1_structure_accesses: u64,
+    /// L1 hits for structure fetches.
+    pub l1_structure_hits: u64,
+    /// Lines installed by the sibling prefetcher.
+    pub prefetch_installs: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy from a GPU configuration.
+    pub fn new(config: &GpuConfig) -> Self {
+        Self {
+            l1: (0..config.num_sms)
+                .map(|_| Cache::new(config.l1_bytes, config.line_bytes, config.l1_ways))
+                .collect(),
+            l2: Cache::new(config.l2_bytes, config.line_bytes, config.l2_ways),
+            line_bytes: config.line_bytes as u64,
+            l1_latency: config.l1_latency,
+            l2_latency: config.l2_latency,
+            dram_latency: config.dram_latency,
+            sibling_prefetch: config.sibling_prefetch,
+            touched_lines: FastSet::default(),
+            l2_structure_accesses: 0,
+            l2_structure_hits: 0,
+            dram_structure_accesses: 0,
+            l1_structure_accesses: 0,
+            l1_structure_hits: 0,
+            prefetch_installs: 0,
+        }
+    }
+
+    /// Performs a read of `bytes` at `addr` from SM `sm`; returns the
+    /// latency in cycles (the max over the spanned lines, as a wide load
+    /// issues them in parallel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm` is out of range.
+    pub fn access(&mut self, sm: usize, addr: u64, bytes: u64, class: AccessClass) -> u64 {
+        let first_line = addr / self.line_bytes;
+        let last_line = (addr + bytes.max(1) - 1) / self.line_bytes;
+        let mut worst = 0u64;
+        for line in first_line..=last_line {
+            let line_addr = line * self.line_bytes;
+            let latency = self.access_line(sm, line_addr, class);
+            worst = worst.max(latency);
+        }
+        worst
+    }
+
+    fn access_line(&mut self, sm: usize, line_addr: u64, class: AccessClass) -> u64 {
+        if class == AccessClass::Structure {
+            self.touched_lines.insert(line_addr / self.line_bytes);
+            self.l1_structure_accesses += 1;
+        }
+        if self.l1[sm].access(line_addr) {
+            if class == AccessClass::Structure {
+                self.l1_structure_hits += 1;
+            }
+            return self.l1_latency;
+        }
+        // L1 miss -> L2.
+        if class == AccessClass::Structure {
+            self.l2_structure_accesses += 1;
+        }
+        if self.l2.access(line_addr) {
+            if class == AccessClass::Structure {
+                self.l2_structure_hits += 1;
+            }
+            return self.l1_latency + self.l2_latency;
+        }
+        // L2 miss -> DRAM.
+        if class == AccessClass::Structure {
+            self.dram_structure_accesses += 1;
+        }
+        self.l1_latency + self.l2_latency + self.dram_latency
+    }
+
+    /// Sibling-prefetch install: puts the lines of `[addr, addr+bytes)`
+    /// into SM `sm`'s L1 (and L2) without charging latency or counting
+    /// demand accesses. No-op when prefetching is disabled.
+    pub fn prefetch(&mut self, sm: usize, addr: u64, bytes: u64) {
+        if !self.sibling_prefetch {
+            return;
+        }
+        let first_line = addr / self.line_bytes;
+        let last_line = (addr + bytes.max(1) - 1) / self.line_bytes;
+        for line in first_line..=last_line {
+            let line_addr = line * self.line_bytes;
+            if self.l1[sm].install(line_addr) {
+                self.prefetch_installs += 1;
+            }
+            self.l2.install(line_addr);
+        }
+    }
+
+    /// L1 hit rate over structure fetches (Fig. 16).
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.l1_structure_accesses == 0 {
+            0.0
+        } else {
+            self.l1_structure_hits as f64 / self.l1_structure_accesses as f64
+        }
+    }
+
+    /// Unique structure bytes touched (Table II memory footprint).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.touched_lines.len() as u64 * self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> GpuConfig {
+        GpuConfig {
+            num_sms: 2,
+            l1_bytes: 512,
+            line_bytes: 128,
+            l1_ways: 4,
+            l2_bytes: 2048,
+            l2_ways: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn first_access_pays_dram_second_hits_l1() {
+        let cfg = tiny_config();
+        let mut m = MemorySystem::new(&cfg);
+        let cold = m.access(0, 0x1000, 8, AccessClass::Structure);
+        assert_eq!(cold, cfg.l1_latency + cfg.l2_latency + cfg.dram_latency);
+        let warm = m.access(0, 0x1000, 8, AccessClass::Structure);
+        assert_eq!(warm, cfg.l1_latency);
+    }
+
+    #[test]
+    fn l1s_are_private_l2_is_shared() {
+        let cfg = tiny_config();
+        let mut m = MemorySystem::new(&cfg);
+        m.access(0, 0x1000, 8, AccessClass::Structure);
+        // Other SM misses L1 but hits the shared L2.
+        let lat = m.access(1, 0x1000, 8, AccessClass::Structure);
+        assert_eq!(lat, cfg.l1_latency + cfg.l2_latency);
+    }
+
+    #[test]
+    fn wide_access_spans_lines() {
+        let cfg = tiny_config();
+        let mut m = MemorySystem::new(&cfg);
+        // 224-byte node spanning two 128-byte lines.
+        m.access(0, 0x1000, 224, AccessClass::Structure);
+        assert_eq!(m.l1_structure_accesses, 2);
+    }
+
+    #[test]
+    fn prefetch_makes_demand_hit() {
+        let cfg = tiny_config();
+        let mut m = MemorySystem::new(&cfg);
+        m.prefetch(0, 0x2000, 128);
+        let lat = m.access(0, 0x2000, 8, AccessClass::Structure);
+        assert_eq!(lat, cfg.l1_latency);
+        assert_eq!(m.prefetch_installs, 1);
+    }
+
+    #[test]
+    fn prefetch_disabled_is_noop() {
+        let cfg = GpuConfig { sibling_prefetch: false, ..tiny_config() };
+        let mut m = MemorySystem::new(&cfg);
+        m.prefetch(0, 0x2000, 128);
+        let lat = m.access(0, 0x2000, 8, AccessClass::Structure);
+        assert!(lat > cfg.l1_latency);
+    }
+
+    #[test]
+    fn buffer_traffic_excluded_from_structure_stats() {
+        let cfg = tiny_config();
+        let mut m = MemorySystem::new(&cfg);
+        m.access(0, 0x3000, 20, AccessClass::Buffer);
+        assert_eq!(m.l1_structure_accesses, 0);
+        assert_eq!(m.footprint_bytes(), 0);
+    }
+
+    #[test]
+    fn footprint_counts_unique_lines() {
+        let cfg = tiny_config();
+        let mut m = MemorySystem::new(&cfg);
+        m.access(0, 0x0, 8, AccessClass::Structure);
+        m.access(0, 0x10, 8, AccessClass::Structure); // same line
+        m.access(1, 0x80, 8, AccessClass::Structure); // next line
+        assert_eq!(m.footprint_bytes(), 256);
+    }
+}

@@ -1,0 +1,128 @@
+//! Warp scheduling and the makespan model.
+//!
+//! Warps are assigned to SMs round-robin (as the rasterizer-style tile
+//! scheduler of Vulkan-Sim does for raygen launches). Within an SM, the
+//! RT unit keeps up to `warp_buffer_size` warps in flight, overlapping
+//! their memory stalls; we model that as an overlap factor on the sum of
+//! warp times, bounded by the warp-buffer depth. The render time is the
+//! slowest SM's time — this preserves both the latency-sensitivity the
+//! paper measures (traversal is "memory latency-bound") and the
+//! load-imbalance effects of uneven warps.
+
+use crate::config::GpuConfig;
+
+/// Assigns warps to SMs and converts per-warp cycles into a makespan.
+#[derive(Debug, Clone)]
+pub struct WarpSchedule {
+    num_sms: usize,
+    warp_buffer: usize,
+    /// Fraction of memory stalls the warp buffer actually hides
+    /// (traversal stays latency-bound, so overlap is partial).
+    overlap_efficiency: f64,
+}
+
+impl WarpSchedule {
+    /// Builds the schedule model from the GPU configuration.
+    pub fn new(config: &GpuConfig) -> Self {
+        Self {
+            num_sms: config.num_sms,
+            warp_buffer: config.warp_buffer_size,
+            overlap_efficiency: 0.7,
+        }
+    }
+
+    /// SM that warp `w` executes on (round-robin).
+    pub fn sm_of_warp(&self, warp: usize) -> usize {
+        warp % self.num_sms
+    }
+
+    /// Converts per-warp `(compute, stall)` cycle pairs into total render
+    /// cycles (the slowest SM).
+    pub fn makespan(&self, warp_cycles: &[(u64, u64)]) -> u64 {
+        if warp_cycles.is_empty() {
+            return 0;
+        }
+        let mut sm_compute = vec![0u64; self.num_sms];
+        let mut sm_stall = vec![0u64; self.num_sms];
+        let mut sm_warps = vec![0usize; self.num_sms];
+        for (w, &(compute, stall)) in warp_cycles.iter().enumerate() {
+            let sm = self.sm_of_warp(w);
+            sm_compute[sm] += compute;
+            sm_stall[sm] += stall;
+            sm_warps[sm] += 1;
+        }
+        let mut worst = 0u64;
+        for sm in 0..self.num_sms {
+            if sm_warps[sm] == 0 {
+                continue;
+            }
+            // Up to warp_buffer warps overlap; the hidden share of the
+            // stall time shrinks by the effective concurrency.
+            let concurrency = self.warp_buffer.min(sm_warps[sm]) as f64;
+            let hidden = 1.0 + (concurrency - 1.0) * self.overlap_efficiency;
+            let time = sm_compute[sm] as f64 + sm_stall[sm] as f64 / hidden;
+            worst = worst.max(time.ceil() as u64);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> WarpSchedule {
+        WarpSchedule::new(&GpuConfig::default())
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        assert_eq!(schedule().makespan(&[]), 0);
+    }
+
+    #[test]
+    fn single_warp_pays_full_time() {
+        let s = schedule();
+        assert_eq!(s.makespan(&[(1000, 0)]), 1000);
+        assert_eq!(s.makespan(&[(0, 1000)]), 1000);
+    }
+
+    #[test]
+    fn round_robin_covers_all_sms() {
+        let s = schedule();
+        let sms: std::collections::HashSet<usize> = (0..16).map(|w| s.sm_of_warp(w)).collect();
+        assert_eq!(sms.len(), 8);
+    }
+
+    #[test]
+    fn stalls_overlap_but_compute_serializes() {
+        let s = schedule();
+        // 8 identical warps all landing on different SMs: same as one.
+        let even: Vec<(u64, u64)> = (0..8).map(|_| (100, 1000)).collect();
+        let t_even = s.makespan(&even);
+        assert_eq!(t_even, 1100);
+        // 64 warps = 8 per SM, warp buffer 8: stalls overlap partially.
+        let many: Vec<(u64, u64)> = (0..64).map(|_| (100, 1000)).collect();
+        let t_many = s.makespan(&many);
+        assert!(t_many < 8 * 1100, "stall overlap must help: {t_many}");
+        assert!(t_many > 1100, "but not eliminate time: {t_many}");
+        assert!(t_many >= 800, "compute fully serializes: {t_many}");
+    }
+
+    #[test]
+    fn lower_latency_means_lower_makespan() {
+        let s = schedule();
+        let slow: Vec<(u64, u64)> = (0..64).map(|_| (100, 2000)).collect();
+        let fast: Vec<(u64, u64)> = (0..64).map(|_| (100, 500)).collect();
+        assert!(s.makespan(&fast) < s.makespan(&slow));
+    }
+
+    #[test]
+    fn imbalance_hurts() {
+        let s = schedule();
+        // One giant warp dominates.
+        let mut warps: Vec<(u64, u64)> = (0..64).map(|_| (10, 10)).collect();
+        warps[0] = (100_000, 0);
+        assert!(s.makespan(&warps) >= 100_000);
+    }
+}

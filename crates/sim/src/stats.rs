@@ -1,0 +1,115 @@
+//! Global simulation counters — the quantities every figure reads.
+
+use grtx_bvh::FetchKind;
+
+/// Aggregate statistics for one simulated render.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total structure-element fetches (Fig. 14).
+    pub node_fetches_total: u64,
+    /// First-time-per-ray structure fetches (Fig. 7 "Unique").
+    pub node_fetches_unique: u64,
+    /// Interior-node share of total fetches (Fig. 7 split).
+    pub internal_fetches_total: u64,
+    /// Interior-node share of unique fetches.
+    pub internal_fetches_unique: u64,
+    /// Sum of fetch latencies in cycles (Fig. 15 numerator).
+    pub fetch_latency_cycles: u64,
+    /// Ray–box tests executed.
+    pub box_tests: u64,
+    /// Ray–triangle tests executed.
+    pub triangle_tests: u64,
+    /// Ray–sphere tests executed.
+    pub sphere_tests: u64,
+    /// Software ellipsoid tests executed.
+    pub ellipsoid_tests: u64,
+    /// Instance ray transforms executed.
+    pub ray_transforms: u64,
+    /// Any-hit shader invocations.
+    pub any_hit_invocations: u64,
+    /// Checkpoint entries written (Fig. 20 sizing input).
+    pub checkpoint_writes: u64,
+    /// Checkpoint entries read back.
+    pub checkpoint_reads: u64,
+    /// Eviction-buffer entries written.
+    pub eviction_writes: u64,
+    /// Peak per-ray checkpoint-buffer entries observed.
+    pub peak_checkpoint_entries: u64,
+    /// Peak per-ray eviction-buffer entries observed.
+    pub peak_eviction_entries: u64,
+    /// Tracing rounds executed across all rays.
+    pub rounds: u64,
+    /// Rays fully traced.
+    pub rays: u64,
+    /// Gaussians blended across all rays.
+    pub blended_gaussians: u64,
+}
+
+impl SimStats {
+    /// Records one structure fetch.
+    pub fn record_fetch(&mut self, kind: FetchKind, first_visit: bool, latency: u64) {
+        self.node_fetches_total += 1;
+        self.fetch_latency_cycles += latency;
+        if kind.is_internal() {
+            self.internal_fetches_total += 1;
+        }
+        if first_visit {
+            self.node_fetches_unique += 1;
+            if kind.is_internal() {
+                self.internal_fetches_unique += 1;
+            }
+        }
+    }
+
+    /// Average node-fetch latency in cycles (Fig. 15).
+    pub fn avg_fetch_latency(&self) -> f64 {
+        if self.node_fetches_total == 0 {
+            0.0
+        } else {
+            self.fetch_latency_cycles as f64 / self.node_fetches_total as f64
+        }
+    }
+
+    /// Redundancy factor: total / unique fetches (Fig. 7's gap).
+    pub fn redundancy(&self) -> f64 {
+        if self.node_fetches_unique == 0 {
+            1.0
+        } else {
+            self.node_fetches_total as f64 / self.node_fetches_unique as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fetch_accumulates() {
+        let mut s = SimStats::default();
+        s.record_fetch(FetchKind::MonoNode, true, 20);
+        s.record_fetch(FetchKind::MonoNode, false, 185);
+        s.record_fetch(FetchKind::Prim, true, 20);
+        assert_eq!(s.node_fetches_total, 3);
+        assert_eq!(s.node_fetches_unique, 2);
+        assert_eq!(s.internal_fetches_total, 2);
+        assert_eq!(s.internal_fetches_unique, 1);
+        assert!((s.avg_fetch_latency() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundancy_is_total_over_unique() {
+        let mut s = SimStats::default();
+        for i in 0..10 {
+            s.record_fetch(FetchKind::TlasNode, i < 4, 20);
+        }
+        assert!((s.redundancy() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_have_safe_defaults() {
+        let s = SimStats::default();
+        assert_eq!(s.avg_fetch_latency(), 0.0);
+        assert_eq!(s.redundancy(), 1.0);
+    }
+}
