@@ -4,12 +4,15 @@
 //! indoor scene.
 
 use grtx::{PipelineVariant, RunOptions, SceneSetup};
-use grtx_bench::{BENCH_SEED, banner};
+use grtx_bench::{banner, BENCH_SEED};
 use grtx_scene::SceneKind;
 use grtx_sim::GpuConfig;
 
 fn main() {
-    banner("Ablations: simulator design choices", "DESIGN.md §6 (not a paper exhibit)");
+    banner(
+        "Ablations: simulator design choices",
+        "DESIGN.md §6 (not a paper exhibit)",
+    );
     let divisor = SceneSetup::env_divisor();
     let res = SceneSetup::env_resolution();
     let scenes: Vec<SceneSetup> = [SceneKind::Train, SceneKind::Room]
@@ -18,14 +21,20 @@ fn main() {
         .collect();
 
     println!("\nAblation 1 — sibling leaf prefetch (the paper's L1 calibration):");
-    println!("{:<8} {:<10} {:>10} {:>10} {:>9} {:>9}", "scene", "variant", "on(ms)", "off(ms)", "L1 on", "L1 off");
+    println!(
+        "{:<8} {:<10} {:>10} {:>10} {:>9} {:>9}",
+        "scene", "variant", "on(ms)", "off(ms)", "L1 on", "L1 off"
+    );
     for setup in &scenes {
         for variant in [PipelineVariant::baseline(), PipelineVariant::grtx()] {
             let on = setup.run(&variant, &RunOptions::default());
             let off = setup.run(
                 &variant,
                 &RunOptions {
-                    gpu: GpuConfig { sibling_prefetch: false, ..Default::default() },
+                    gpu: GpuConfig {
+                        sibling_prefetch: false,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
             );
@@ -42,12 +51,18 @@ fn main() {
     }
 
     println!("\nAblation 2 — cache scaling (unscaled Table I caches exaggerate locality):");
-    println!("{:<8} {:<10} {:>12} {:>14}", "scene", "variant", "scaled L1", "unscaled L1");
+    println!(
+        "{:<8} {:<10} {:>12} {:>14}",
+        "scene", "variant", "scaled L1", "unscaled L1"
+    );
     for setup in &scenes {
         for variant in [PipelineVariant::baseline(), PipelineVariant::grtx_sw()] {
             let scaled = setup.run(&variant, &RunOptions::default());
             // Re-run against an unscaled-cache setup of the same scene.
-            let unscaled_setup = SceneSetup { divisor: 1, ..clone_setup(setup) };
+            let unscaled_setup = SceneSetup {
+                divisor: 1,
+                ..clone_setup(setup)
+            };
             let unscaled = unscaled_setup.run(&variant, &RunOptions::default());
             println!(
                 "{:<8} {:<10} {:>12.3} {:>14.3}",
@@ -60,13 +75,20 @@ fn main() {
     }
 
     println!("\nAblation 3 — straggler overhead: GRTX speedup over baseline vs round overhead:");
-    println!("{:<8} {:>14} {:>14} {:>14}", "scene", "overhead=0", "overhead=260", "overhead=1000");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}",
+        "scene", "overhead=0", "overhead=260", "overhead=1000"
+    );
     for setup in &scenes {
         let mut speedups = Vec::new();
         for overhead in [0u64, 260, 1000] {
             let mut gpu = GpuConfig::default();
             gpu.costs.round_overhead = overhead;
-            let opts = RunOptions { k: 8, gpu, ..Default::default() };
+            let opts = RunOptions {
+                k: 8,
+                gpu,
+                ..Default::default()
+            };
             let base = setup.run(&PipelineVariant::baseline(), &opts);
             let grtx = setup.run(&PipelineVariant::grtx(), &opts);
             speedups.push(base.report.time_ms / grtx.report.time_ms);

@@ -4,16 +4,22 @@
 
 use grtx::{PipelineVariant, RunOptions};
 use grtx_bench::{banner, evaluation_scenes, geomean};
-use grtx_render::{RasterConfig, render_rasterized};
+use grtx_render::{render_rasterized, RasterConfig};
 use grtx_sim::GpuConfig;
 
 fn main() {
-    banner("Fig. 4: rasterization (3DGS) vs ray tracing (3DGRT)", "Fig. 4a and Fig. 4b");
+    banner(
+        "Fig. 4: rasterization (3DGS) vs ray tracing (3DGRT)",
+        "Fig. 4a and Fig. 4b",
+    );
     let scenes = evaluation_scenes();
     let baseline = PipelineVariant::baseline();
 
     println!("\nFig. 4a — render time (paper: 3DGRT ~3.04x slower on average):");
-    println!("{:<11} {:>12} {:>12} {:>8}", "scene", "3DGS(ms)", "3DGRT(ms)", "ratio");
+    println!(
+        "{:<11} {:>12} {:>12} {:>8}",
+        "scene", "3DGS(ms)", "3DGRT(ms)", "ratio"
+    );
     let mut ratios = Vec::new();
     let mut rt_reports = Vec::new();
     for setup in &scenes {
@@ -45,11 +51,19 @@ fn main() {
     for setup in &scenes {
         let traversal = setup.run(
             &baseline,
-            &RunOptions { charge_sorting: false, charge_blending: false, ..Default::default() },
+            &RunOptions {
+                charge_sorting: false,
+                charge_blending: false,
+                ..Default::default()
+            },
         );
         let sorting = setup.run(
             &baseline,
-            &RunOptions { charge_sorting: true, charge_blending: false, ..Default::default() },
+            &RunOptions {
+                charge_sorting: true,
+                charge_blending: false,
+                ..Default::default()
+            },
         );
         let full = setup.run(&baseline, &RunOptions::default());
         // Per-round time: divide by the average number of rounds.

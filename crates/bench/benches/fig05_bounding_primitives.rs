@@ -6,7 +6,10 @@ use grtx_bench::{banner, evaluation_scenes};
 use grtx_bvh::layout::format_bytes;
 
 fn main() {
-    banner("Fig. 5: bounding primitives (icosahedron vs custom Gaussian)", "Fig. 5a and Fig. 5b");
+    banner(
+        "Fig. 5: bounding primitives (icosahedron vs custom Gaussian)",
+        "Fig. 5a and Fig. 5b",
+    );
     let scenes = evaluation_scenes();
     let opts = RunOptions::default();
 

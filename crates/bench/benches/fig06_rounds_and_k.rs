@@ -1,9 +1,9 @@
 //! Fig. 6: (a) single-round vs multi-round traversal at k = 16;
 //! (b) rendering time across k ∈ {4, 8, 16, 32, 64}.
 
-use grtx::{PipelineVariant, RunOptions};
 use grtx::SceneSetup;
-use grtx_bench::{BENCH_SEED, banner};
+use grtx::{PipelineVariant, RunOptions};
+use grtx_bench::{banner, BENCH_SEED};
 use grtx_bvh::LayoutConfig;
 use grtx_scene::SceneKind;
 
@@ -20,19 +20,28 @@ fn scenes() -> Vec<SceneSetup> {
 }
 
 fn main() {
-    banner("Fig. 6: multi-round tracing and the choice of k", "Fig. 6a and Fig. 6b");
+    banner(
+        "Fig. 6: multi-round tracing and the choice of k",
+        "Fig. 6a and Fig. 6b",
+    );
     let scenes = scenes();
     let baseline = PipelineVariant::baseline();
 
     println!("\nFig. 6a — single-round vs multi-round (k = 16; paper: multi-round wins):");
-    println!("{:<11} {:>16} {:>16}", "scene", "multi-round(ms)", "single-round(ms)");
+    println!(
+        "{:<11} {:>16} {:>16}",
+        "scene", "multi-round(ms)", "single-round(ms)"
+    );
     for setup in &scenes {
         let accel = setup.build_accel(&baseline, &LayoutConfig::default());
         let multi = setup.run_with_accel(&accel, &baseline, &RunOptions::default());
         let single = setup.run_with_accel(
             &accel,
             &baseline,
-            &RunOptions { single_round: true, ..Default::default() },
+            &RunOptions {
+                single_round: true,
+                ..Default::default()
+            },
         );
         println!(
             "{:<11} {:>16.3} {:>16.3}",
@@ -53,7 +62,14 @@ fn main() {
         let accel = setup.build_accel(&baseline, &LayoutConfig::default());
         print!("{:<11}", setup.kind.name());
         for k in ks {
-            let r = setup.run_with_accel(&accel, &baseline, &RunOptions { k, ..Default::default() });
+            let r = setup.run_with_accel(
+                &accel,
+                &baseline,
+                &RunOptions {
+                    k,
+                    ..Default::default()
+                },
+            );
             print!(" {:>9.3}", r.report.time_ms);
         }
         println!();

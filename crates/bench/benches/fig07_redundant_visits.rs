@@ -5,7 +5,10 @@ use grtx::{PipelineVariant, RunOptions};
 use grtx_bench::{banner, evaluation_scenes};
 
 fn main() {
-    banner("Fig. 7: unique vs total node visits (baseline, k = 16)", "Fig. 7");
+    banner(
+        "Fig. 7: unique vs total node visits (baseline, k = 16)",
+        "Fig. 7",
+    );
     let scenes = evaluation_scenes();
     let opts = RunOptions::default();
 

@@ -5,7 +5,10 @@ use grtx::{PipelineVariant, RunOptions};
 use grtx_bench::{banner, evaluation_scenes, geomean};
 
 fn main() {
-    banner("Fig. 12: GRTX-SW with different Gaussian geometries", "Fig. 12");
+    banner(
+        "Fig. 12: GRTX-SW with different Gaussian geometries",
+        "Fig. 12",
+    );
     let scenes = evaluation_scenes();
     let opts = RunOptions::default();
     let variants = [

@@ -3,8 +3,8 @@
 //! checkpoint-buffer measurements — all from the same four runs per
 //! scene, exactly as the paper derives them.
 
-use grtx_bench::{banner, evaluation_scenes, fig13_variants, geomean};
 use grtx::RunOptions;
+use grtx_bench::{banner, evaluation_scenes, fig13_variants, geomean};
 use grtx_bvh::CHECKPOINT_ENTRY_BYTES;
 
 fn main() {
@@ -46,7 +46,8 @@ fn main() {
         let rays_resident = (gpu.num_sms * gpu.warp_buffer_size * gpu.warp_size) as u64;
         // Ping-pong checkpoint buffers + eviction buffer, sized by the
         // peak per-ray occupancy observed.
-        let ckpt_bytes = grtx.stats.peak_checkpoint_entries * CHECKPOINT_ENTRY_BYTES * rays_resident * 2;
+        let ckpt_bytes =
+            grtx.stats.peak_checkpoint_entries * CHECKPOINT_ENTRY_BYTES * rays_resident * 2;
         let evict_bytes = grtx.stats.peak_eviction_entries * 8 * rays_resident;
         println!(
             "{:<11} Fig20: ckpt buffer {:.2} MB, eviction buffer {:.2} MB (peaks {} / {} entries/ray)",

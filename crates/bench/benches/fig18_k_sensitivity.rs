@@ -22,7 +22,14 @@ fn main() {
             .iter()
             .map(|&k| {
                 setup
-                    .run_with_accel(&accel, &grtx, &RunOptions { k, ..Default::default() })
+                    .run_with_accel(
+                        &accel,
+                        &grtx,
+                        &RunOptions {
+                            k,
+                            ..Default::default()
+                        },
+                    )
                     .report
                     .time_ms
             })

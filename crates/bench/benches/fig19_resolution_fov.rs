@@ -4,11 +4,14 @@
 //! but not GRTX-HW's.
 
 use grtx::{RunOptions, SceneSetup};
-use grtx_bench::{BENCH_SEED, banner, fig13_variants};
+use grtx_bench::{banner, fig13_variants, BENCH_SEED};
 use grtx_scene::SceneKind;
 
 fn main() {
-    banner("Fig. 19: resolution and FoV sensitivity (Train, Truck)", "Fig. 19a and Fig. 19b");
+    banner(
+        "Fig. 19: resolution and FoV sensitivity (Train, Truck)",
+        "Fig. 19a and Fig. 19b",
+    );
     let divisor = SceneSetup::env_divisor();
     let base_res = SceneSetup::env_resolution();
     // "Original resolution" is emulated at 1.5x the evaluation
@@ -22,7 +25,10 @@ fn main() {
         ("(b) base resolution, scaled-down FoV", base_res, 0.5f32),
     ] {
         println!("\nFig. 19{label}:");
-        println!("{:<8} {:<9} {:>9} {:>9} {:>8}", "scene", "variant", "time(ms)", "speedup", "L1 rate");
+        println!(
+            "{:<8} {:<9} {:>9} {:>9} {:>8}",
+            "scene", "variant", "time(ms)", "speedup", "L1 rate"
+        );
         for kind in [SceneKind::Train, SceneKind::Truck] {
             let base_profile = kind.profile();
             let budget = base_profile.full_gaussian_count / divisor;
@@ -32,8 +38,10 @@ fn main() {
                 .with_resolution(res, res)
                 .with_fov_y_deg(base_profile.fov_y_deg * fov_scale);
             let setup = SceneSetup::from_profile(kind, profile, divisor, BENCH_SEED);
-            let results: Vec<_> =
-                fig13_variants().iter().map(|v| setup.run(v, &opts)).collect();
+            let results: Vec<_> = fig13_variants()
+                .iter()
+                .map(|v| setup.run(v, &opts))
+                .collect();
             let base_ms = results[0].report.time_ms;
             for (v, r) in fig13_variants().iter().zip(&results) {
                 println!(

@@ -11,11 +11,22 @@ fn main() {
     let scenes = evaluation_scenes();
     // OptiX payload registers cap k at 16 (32 payload slots / 2 per
     // entry), so both run k = 16.
-    let optix = RunOptions { k: 16, storage: KBufferStorage::PayloadRegisters, ..Default::default() };
-    let vulkan = RunOptions { k: 16, storage: KBufferStorage::GlobalSoA, ..Default::default() };
+    let optix = RunOptions {
+        k: 16,
+        storage: KBufferStorage::PayloadRegisters,
+        ..Default::default()
+    };
+    let vulkan = RunOptions {
+        k: 16,
+        storage: KBufferStorage::GlobalSoA,
+        ..Default::default()
+    };
     let baseline = PipelineVariant::baseline();
 
-    println!("\n{:<11} {:>11} {:>11} {:>8}", "scene", "OptiX(ms)", "Vulkan(ms)", "ratio");
+    println!(
+        "\n{:<11} {:>11} {:>11} {:>8}",
+        "scene", "OptiX(ms)", "Vulkan(ms)", "ratio"
+    );
     for setup in &scenes {
         let o = setup.run(&baseline, &optix);
         let v = setup.run(&baseline, &vulkan);

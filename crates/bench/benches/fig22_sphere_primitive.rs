@@ -7,11 +7,17 @@ use grtx::{PipelineVariant, RunOptions};
 use grtx_bench::{banner, evaluation_scenes, geomean};
 
 fn main() {
-    banner("Fig. 22: GRTX-SW with the hardware sphere primitive", "Fig. 22");
+    banner(
+        "Fig. 22: GRTX-SW with the hardware sphere primitive",
+        "Fig. 22",
+    );
     let scenes = evaluation_scenes();
     let opts = RunOptions::default();
 
-    println!("\n{:<11} {:>13} {:>13} {:>9}", "scene", "20-tri(ms)", "sphere(ms)", "speedup");
+    println!(
+        "\n{:<11} {:>13} {:>13} {:>9}",
+        "scene", "20-tri(ms)", "sphere(ms)", "speedup"
+    );
     let mut speedups = Vec::new();
     for setup in &scenes {
         let base = setup.run(&PipelineVariant::baseline(), &opts);
@@ -26,6 +32,8 @@ fn main() {
             s
         );
     }
-    println!("geomean: {:.2}x (paper: 1.2-1.7x, below TLAS+80-tri due to sphere-test throughput)",
-        geomean(&speedups));
+    println!(
+        "geomean: {:.2}x (paper: 1.2-1.7x, below TLAS+80-tri due to sphere-test throughput)",
+        geomean(&speedups)
+    );
 }

@@ -6,9 +6,15 @@ use grtx::{PipelineVariant, RunOptions};
 use grtx_bench::{banner, evaluation_scenes, geomean};
 
 fn main() {
-    banner("Fig. 23: GRTX-HW on secondary rays (glass sphere + mirror)", "Fig. 23b");
+    banner(
+        "Fig. 23: GRTX-HW on secondary rays (glass sphere + mirror)",
+        "Fig. 23b",
+    );
     let scenes = evaluation_scenes();
-    let opts = RunOptions { effects_seed: Some(7), ..Default::default() };
+    let opts = RunOptions {
+        effects_seed: Some(7),
+        ..Default::default()
+    };
 
     println!(
         "\n{:<11} {:>12} {:>14} {:>12}",
@@ -37,7 +43,13 @@ fn main() {
                 // Objects landed outside the frustum for this seed.
                 let s = base.report.time_ms / hw.report.time_ms;
                 prim_speedups.push(s);
-                println!("{:<11} {:>12.2} {:>14} {:>12}", setup.kind.name(), s, "n/a", 0);
+                println!(
+                    "{:<11} {:>12.2} {:>14} {:>12}",
+                    setup.kind.name(),
+                    s,
+                    "n/a",
+                    0
+                );
             }
         }
     }

@@ -12,7 +12,10 @@ use grtx_sim::GpuConfig;
 const VULKAN_BUFFER_LIMIT: u64 = 4 * 1024 * 1024 * 1024;
 
 fn main() {
-    banner("Fig. 24: AMD-like GPU (Radeon RX 9070 XT analogue)", "Fig. 24");
+    banner(
+        "Fig. 24: AMD-like GPU (Radeon RX 9070 XT analogue)",
+        "Fig. 24",
+    );
     let scenes = evaluation_scenes();
     let variants = [
         PipelineVariant::baseline(),
@@ -38,7 +41,10 @@ fn main() {
         let mut sizes: Vec<u64> = Vec::new();
         for v in &variants {
             let accel = setup.build_accel(v, &grtx_bvh::LayoutConfig::amd());
-            let full_size = accel.size_report().extrapolated(setup.scale_factor_for_bench()).total_bytes;
+            let full_size = accel
+                .size_report()
+                .extrapolated(setup.scale_factor_for_bench())
+                .total_bytes;
             sizes.push(full_size);
             if full_size > VULKAN_BUFFER_LIMIT {
                 times.push(None);

@@ -1,19 +1,30 @@
 //! Criterion micro-benchmarks for the hot kernels: intersection tests,
 //! k-buffer insertion, BVH construction, and cache lookups.
 
-use criterion::{Criterion, black_box, criterion_group, criterion_main};
-use grtx_bvh::builder::{BuildPrim, BuilderConfig, build_wide_bvh};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use grtx_bvh::builder::{build_wide_bvh, BuildPrim, BuilderConfig};
 use grtx_math::intersect::{ray_sphere_unit, ray_triangle};
 use grtx_math::{Aabb, Ray, Vec3};
 use grtx_render::kbuffer::KBuffer;
 use grtx_sim::Cache;
 
 fn bench_intersections(c: &mut Criterion) {
-    let ray = Ray::new(Vec3::new(0.1, 0.2, -3.0), Vec3::new(0.05, 0.02, 1.0).normalized());
+    let ray = Ray::new(
+        Vec3::new(0.1, 0.2, -3.0),
+        Vec3::new(0.05, 0.02, 1.0).normalized(),
+    );
     let aabb = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
-    c.bench_function("ray_aabb", |b| b.iter(|| black_box(&aabb).intersect_ray(black_box(&ray))));
-    c.bench_function("ray_sphere_unit", |b| b.iter(|| ray_sphere_unit(black_box(&ray))));
-    let (v0, v1, v2) = (Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, -1.0, 0.0), Vec3::new(0.0, 1.5, 0.0));
+    c.bench_function("ray_aabb", |b| {
+        b.iter(|| black_box(&aabb).intersect_ray(black_box(&ray)))
+    });
+    c.bench_function("ray_sphere_unit", |b| {
+        b.iter(|| ray_sphere_unit(black_box(&ray)))
+    });
+    let (v0, v1, v2) = (
+        Vec3::new(-1.0, -1.0, 0.0),
+        Vec3::new(1.0, -1.0, 0.0),
+        Vec3::new(0.0, 1.5, 0.0),
+    );
     c.bench_function("ray_triangle", |b| {
         b.iter(|| ray_triangle(black_box(&ray), black_box(v0), black_box(v1), black_box(v2)))
     });

@@ -30,7 +30,10 @@ fn main() {
             format_bytes((tlas.report.footprint_bytes as f64 * f) as u64),
         );
     }
-    println!("(Gaussian counts are Table II's; structures are built at 1/{} scale", scenes[0].divisor);
+    println!(
+        "(Gaussian counts are Table II's; structures are built at 1/{} scale",
+        scenes[0].divisor
+    );
     println!(" and sizes/footprints extrapolated linearly — see EXPERIMENTS.md)");
     println!("(paper: e.g. Truck 3.88 GB vs 345 MB; footprints 181 MB vs 36 MB)");
 }

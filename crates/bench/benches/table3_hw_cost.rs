@@ -14,6 +14,12 @@ fn main() {
         gpu.warp_size, gpu.warp_buffer_size
     );
     println!("  + 8 B src address + 8 B dst address + 2 B max size");
-    println!("\nTotal: {:.2} KB per RT core (paper: 1.05 KB)", bytes / 1024.0);
-    assert!((bytes / 1024.0 - 1.05).abs() < 0.02, "Table III must reproduce");
+    println!(
+        "\nTotal: {:.2} KB per RT core (paper: 1.05 KB)",
+        bytes / 1024.0
+    );
+    assert!(
+        (bytes / 1024.0 - 1.05).abs() < 0.02,
+        "Table III must reproduce"
+    );
 }

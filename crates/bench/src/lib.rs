@@ -14,6 +14,36 @@ use grtx_scene::SceneKind;
 /// Seed used by all benches so every figure sees identical scenes.
 pub const BENCH_SEED: u64 = 42;
 
+/// Scene-scale divisor the smoke profile pins (1/800 of paper scale).
+pub const SMOKE_SCALE_DIVISOR: &str = "800";
+
+/// Resolution the smoke profile pins.
+pub const SMOKE_RESOLUTION: &str = "32";
+
+/// `true` when this bench run should use the fast smoke profile:
+/// `cargo bench -- --test` (CI) or `GRTX_SMOKE=1`.
+pub fn smoke_requested() -> bool {
+    std::env::args().any(|a| a == "--test")
+        || std::env::var("GRTX_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Applies the smoke profile by pinning `GRTX_SCALE`/`GRTX_RES` to tiny
+/// values — unless the user already set them — so every bench target
+/// finishes in seconds. Called from [`banner`], which every figure/table
+/// bench prints before building scenes. Returns whether smoke is active.
+pub fn apply_smoke_profile() -> bool {
+    if !smoke_requested() {
+        return false;
+    }
+    if std::env::var("GRTX_SCALE").is_err() {
+        std::env::set_var("GRTX_SCALE", SMOKE_SCALE_DIVISOR);
+    }
+    if std::env::var("GRTX_RES").is_err() {
+        std::env::set_var("GRTX_RES", SMOKE_RESOLUTION);
+    }
+    true
+}
+
 /// Builds the six evaluation scenes at the env-configured scale.
 pub fn evaluation_scenes() -> Vec<SceneSetup> {
     let divisor = SceneSetup::env_divisor();
@@ -33,15 +63,20 @@ pub fn geomean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
-/// Prints a figure/table banner with the run configuration.
+/// Prints a figure/table banner with the run configuration. Also
+/// applies the smoke profile when `--test` / `GRTX_SMOKE` asks for it.
 pub fn banner(title: &str, paper_ref: &str) {
+    let smoke = apply_smoke_profile();
     println!();
     println!("================================================================");
     println!("{title}");
-    println!("(reproduces {paper_ref}; scale divisor {}, resolution {}x{})",
+    println!(
+        "(reproduces {paper_ref}; scale divisor {}, resolution {}x{}{})",
         SceneSetup::env_divisor(),
         SceneSetup::env_resolution(),
-        SceneSetup::env_resolution());
+        SceneSetup::env_resolution(),
+        if smoke { "; SMOKE profile" } else { "" }
+    );
     println!("================================================================");
 }
 

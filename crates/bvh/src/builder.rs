@@ -5,7 +5,7 @@
 //! strategy Embree uses for its BVH-6 layout that the paper configures
 //! (Section V-A).
 
-use crate::wide::{ChildKind, MAX_WIDTH, WideBvh, WideChild, WideNode};
+use crate::wide::{ChildKind, WideBvh, WideChild, WideNode, MAX_WIDTH};
 use grtx_math::{Aabb, Vec3};
 
 /// Number of SAH bins per axis.
@@ -24,7 +24,10 @@ impl BuildPrim {
     /// Creates a build primitive from an AABB, using its center as
     /// centroid.
     pub fn from_aabb(aabb: Aabb) -> Self {
-        Self { aabb, centroid: aabb.center() }
+        Self {
+            aabb,
+            centroid: aabb.center(),
+        }
     }
 }
 
@@ -40,7 +43,10 @@ pub struct BuilderConfig {
 
 impl Default for BuilderConfig {
     fn default() -> Self {
-        Self { max_leaf_size: 4, traversal_cost: 1.0 }
+        Self {
+            max_leaf_size: 4,
+            traversal_cost: 1.0,
+        }
     }
 }
 
@@ -52,7 +58,9 @@ pub fn build_wide_bvh(prims: &[BuildPrim], config: &BuilderConfig) -> WideBvh {
         return WideBvh::default();
     }
     let mut indices: Vec<u32> = (0..prims.len() as u32).collect();
-    let mut arena = BinaryArena { nodes: Vec::with_capacity(prims.len() / 2 + 1) };
+    let mut arena = BinaryArena {
+        nodes: Vec::with_capacity(prims.len() / 2 + 1),
+    };
     let root = build_binary(&mut arena, prims, &mut indices, 0, prims.len(), config);
 
     let mut wide = WideBvh {
@@ -131,21 +139,31 @@ fn build_binary(
 
     let left = build_binary(arena, prims, indices, start, mid, config);
     let right = build_binary(arena, prims, indices, start + mid, count - mid, config);
-    arena.nodes.push(BinaryNode { aabb, kind: BinaryKind::Inner { left, right } });
+    arena.nodes.push(BinaryNode {
+        aabb,
+        kind: BinaryKind::Inner { left, right },
+    });
     arena.nodes.len() - 1
 }
 
 fn push_leaf(arena: &mut BinaryArena, aabb: Aabb, start: usize, count: usize) -> usize {
     arena.nodes.push(BinaryNode {
         aabb,
-        kind: BinaryKind::Leaf { start: start as u32, count: count as u32 },
+        kind: BinaryKind::Leaf {
+            start: start as u32,
+            count: count as u32,
+        },
     });
     arena.nodes.len() - 1
 }
 
 /// Finds the SAH-minimal `(axis, centroid threshold)` over binned
 /// candidate splits, or `None` when the centroid bounds are degenerate.
-fn find_best_split(prims: &[BuildPrim], slice: &[u32], centroid_bounds: &Aabb) -> Option<(usize, f32)> {
+fn find_best_split(
+    prims: &[BuildPrim],
+    slice: &[u32],
+    centroid_bounds: &Aabb,
+) -> Option<(usize, f32)> {
     let extent = centroid_bounds.extent();
     if extent.max_element() <= 0.0 {
         return None;
@@ -190,7 +208,7 @@ fn find_best_split(prims: &[BuildPrim], slice: &[u32], centroid_bounds: &Aabb) -
             }
             let cost = left_acc.surface_area() * left_cnt as f32
                 + right_area[b + 1] * right_count[b + 1] as f32;
-            if best.map_or(true, |(_, _, c)| cost < c) {
+            if best.is_none_or(|(_, _, c)| cost < c) {
                 let threshold = origin + (b + 1) as f32 / scale;
                 best = Some((axis, threshold, cost));
             }
@@ -256,7 +274,9 @@ fn collapse(arena: &BinaryArena, root: usize, out: &mut WideBvh) -> (u32, u32) {
 
     // Reserve our node id before recursing so the root lands at index 0.
     let my_id = out.nodes.len() as u32;
-    out.nodes.push(WideNode { children: Vec::with_capacity(slots.len()) });
+    out.nodes.push(WideNode {
+        children: Vec::with_capacity(slots.len()),
+    });
 
     let mut children = Vec::with_capacity(slots.len());
     let mut max_child_height = 0;
@@ -265,12 +285,18 @@ fn collapse(arena: &BinaryArena, root: usize, out: &mut WideBvh) -> (u32, u32) {
         let child = match node.kind {
             BinaryKind::Leaf { start, count } => {
                 max_child_height = max_child_height.max(1);
-                WideChild { aabb: node.aabb, kind: ChildKind::Leaf { start, count } }
+                WideChild {
+                    aabb: node.aabb,
+                    kind: ChildKind::Leaf { start, count },
+                }
             }
             BinaryKind::Inner { .. } => {
                 let (child_id, h) = collapse(arena, id, out);
                 max_child_height = max_child_height.max(h);
-                WideChild { aabb: node.aabb, kind: ChildKind::Node(child_id) }
+                WideChild {
+                    aabb: node.aabb,
+                    kind: ChildKind::Node(child_id),
+                }
             }
         };
         children.push(child);
@@ -333,7 +359,9 @@ mod tests {
     #[test]
     fn coincident_centroids_terminate() {
         let prims: Vec<BuildPrim> = (0..64)
-            .map(|_| BuildPrim::from_aabb(Aabb::from_center_half_extent(Vec3::ONE, Vec3::splat(0.5))))
+            .map(|_| {
+                BuildPrim::from_aabb(Aabb::from_center_half_extent(Vec3::ONE, Vec3::splat(0.5)))
+            })
             .collect();
         let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
         assert_eq!(bvh.prim_count(), 64);
@@ -353,7 +381,10 @@ mod tests {
     #[test]
     fn max_leaf_size_respected() {
         let prims = grid_prims(300);
-        let config = BuilderConfig { max_leaf_size: 2, ..Default::default() };
+        let config = BuilderConfig {
+            max_leaf_size: 2,
+            ..Default::default()
+        };
         let bvh = build_wide_bvh(&prims, &config);
         for n in &bvh.nodes {
             for c in &n.children {

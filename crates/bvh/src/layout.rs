@@ -84,7 +84,7 @@ impl AddressSpace {
     /// Reserves a region of `count` records of `stride` bytes; returns
     /// the base address.
     pub fn alloc(&mut self, count: u64, stride: u64) -> u64 {
-        let base = (self.cursor + REGION_ALIGN - 1) / REGION_ALIGN * REGION_ALIGN;
+        let base = self.cursor.div_ceil(REGION_ALIGN) * REGION_ALIGN;
         self.cursor = base + count * stride;
         base
     }

@@ -36,8 +36,8 @@ pub use builder::{BuildPrim, BuilderConfig};
 pub use layout::{AddressSpace, BvhSizeReport, LayoutConfig};
 pub use monolithic::MonolithicBvh;
 pub use traversal::{
-    AnyHitVerdict, CHECKPOINT_ENTRY_BYTES, CheckpointEntry, CheckpointSink, FetchKind,
-    NullObserver, PrimTestKind, RoundOutcome, Slot, TraversalObserver, trace_round,
+    trace_round, AnyHitVerdict, CheckpointEntry, CheckpointSink, FetchKind, NullObserver,
+    PrimTestKind, RoundOutcome, Slot, TraversalObserver, CHECKPOINT_ENTRY_BYTES,
 };
 pub use two_level::TwoLevelBvh;
 pub use wide::{ChildKind, WideBvh, WideChild, WideNode};

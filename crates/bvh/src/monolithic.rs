@@ -5,11 +5,11 @@
 //! per Gaussian, exploiting hardware ray–triangle units) or a single
 //! custom ellipsoid primitive intersected in software (paper Fig. 5).
 
-use crate::builder::{BuildPrim, BuilderConfig, build_wide_bvh};
+use crate::builder::{build_wide_bvh, BuildPrim, BuilderConfig};
 use crate::layout::{AddressSpace, BvhSizeReport, LayoutConfig};
 use crate::wide::WideBvh;
 use crate::BoundingPrimitive;
-use grtx_math::{Ray, Vec3, intersect};
+use grtx_math::{intersect, Ray, Vec3};
 use grtx_scene::{GaussianScene, TemplateMesh};
 
 /// Primitive payloads stored in monolithic leaves.
@@ -57,8 +57,15 @@ impl MonolithicBvh {
     /// Panics if `primitive` is [`BoundingPrimitive::UnitSphere`]
     /// (hardware spheres require instance transforms, i.e. the two-level
     /// organization).
-    pub fn build(scene: &GaussianScene, primitive: BoundingPrimitive, layout: &LayoutConfig) -> Self {
-        let builder_cfg = BuilderConfig { max_leaf_size: layout.mono_max_leaf, ..Default::default() };
+    pub fn build(
+        scene: &GaussianScene,
+        primitive: BoundingPrimitive,
+        layout: &LayoutConfig,
+    ) -> Self {
+        let builder_cfg = BuilderConfig {
+            max_leaf_size: layout.mono_max_leaf,
+            ..Default::default()
+        };
         match primitive {
             BoundingPrimitive::Mesh20 | BoundingPrimitive::Mesh80 => {
                 let template = if primitive == BoundingPrimitive::Mesh20 {
@@ -122,7 +129,11 @@ impl MonolithicBvh {
         }
     }
 
-    fn build_custom(scene: &GaussianScene, layout: &LayoutConfig, builder_cfg: &BuilderConfig) -> Self {
+    fn build_custom(
+        scene: &GaussianScene,
+        layout: &LayoutConfig,
+        builder_cfg: &BuilderConfig,
+    ) -> Self {
         let build_prims: Vec<BuildPrim> = scene
             .world_aabbs()
             .map(|(_, aabb)| BuildPrim::from_aabb(aabb))
@@ -244,9 +255,13 @@ mod tests {
     #[test]
     fn custom_has_one_prim_per_gaussian_and_smaller_bvh() {
         let scene = small_scene();
-        let custom =
-            MonolithicBvh::build(&scene, BoundingPrimitive::CustomEllipsoid, &LayoutConfig::default());
-        let mesh = MonolithicBvh::build(&scene, BoundingPrimitive::Mesh20, &LayoutConfig::default());
+        let custom = MonolithicBvh::build(
+            &scene,
+            BoundingPrimitive::CustomEllipsoid,
+            &LayoutConfig::default(),
+        );
+        let mesh =
+            MonolithicBvh::build(&scene, BoundingPrimitive::Mesh20, &LayoutConfig::default());
         assert_eq!(custom.bvh.prim_count(), scene.len());
         assert!(custom.size_report.total_bytes < mesh.size_report.total_bytes / 4);
     }
@@ -255,7 +270,11 @@ mod tests {
     #[should_panic(expected = "two-level")]
     fn unit_sphere_monolithic_panics() {
         let scene = small_scene();
-        let _ = MonolithicBvh::build(&scene, BoundingPrimitive::UnitSphere, &LayoutConfig::default());
+        let _ = MonolithicBvh::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            &LayoutConfig::default(),
+        );
     }
 
     #[test]
@@ -271,7 +290,10 @@ mod tests {
                 *hits_per_gaussian.entry(g).or_insert(0u32) += 1;
             }
         }
-        assert!(hits_per_gaussian.contains_key(&0), "must hit Gaussian 0's proxy");
+        assert!(
+            hits_per_gaussian.contains_key(&0),
+            "must hit Gaussian 0's proxy"
+        );
         for (&g, &n) in &hits_per_gaussian {
             assert_eq!(n, 1, "gaussian {g} reported {n} front-face hits");
         }
@@ -280,8 +302,11 @@ mod tests {
     #[test]
     fn ellipsoid_prim_hits_match_direct_test() {
         let scene = small_scene();
-        let m =
-            MonolithicBvh::build(&scene, BoundingPrimitive::CustomEllipsoid, &LayoutConfig::default());
+        let m = MonolithicBvh::build(
+            &scene,
+            BoundingPrimitive::CustomEllipsoid,
+            &LayoutConfig::default(),
+        );
         let ray = Ray::new(Vec3::new(0.05, 0.03, -5.0), Vec3::Z);
         let mut hit_any = false;
         for pos in 0..m.bvh.prim_count() as u32 {

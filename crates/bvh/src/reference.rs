@@ -5,7 +5,7 @@
 //! BVH traversal reports exactly the same hit set.
 
 use crate::BoundingPrimitive;
-use grtx_math::{Ray, intersect};
+use grtx_math::{intersect, Ray};
 use grtx_scene::{GaussianScene, TemplateMesh};
 
 /// Returns every `(gaussian id, t_hit)` the given proxy would report for
@@ -48,8 +48,13 @@ pub fn brute_force_hits(
             }
             None => {
                 let local = instance.inverse_transform_ray(ray);
-                intersect::ray_sphere_unit(&local)
-                    .map(|h| if h.t_enter > 0.0 { h.t_enter } else { h.t_exit })
+                intersect::ray_sphere_unit(&local).map(|h| {
+                    if h.t_enter > 0.0 {
+                        h.t_enter
+                    } else {
+                        h.t_exit
+                    }
+                })
             }
         };
         if let Some(t) = t_hit {

@@ -26,7 +26,7 @@ use crate::monolithic::MonolithicBvh;
 use crate::two_level::{SharedBlas, TwoLevelBvh};
 use crate::wide::{ChildKind, WideBvh};
 use crate::AccelStruct;
-use grtx_math::{Ray, ray::Interval};
+use grtx_math::{ray::Interval, Ray};
 use grtx_scene::GaussianScene;
 
 /// What kind of memory a fetch touched (drives Fig. 7's internal/leaf
@@ -48,7 +48,10 @@ pub enum FetchKind {
 impl FetchKind {
     /// `true` for interior-node fetches (Fig. 7 "Internal").
     pub fn is_internal(self) -> bool {
-        matches!(self, FetchKind::MonoNode | FetchKind::TlasNode | FetchKind::BlasNode)
+        matches!(
+            self,
+            FetchKind::MonoNode | FetchKind::TlasNode | FetchKind::BlasNode
+        )
     }
 }
 
@@ -214,6 +217,7 @@ pub struct RoundOutcome {
 ///   that fail the `t_max` validation; `None` discards them (baseline).
 /// * `any_hit` — the any-hit shader: receives `(gaussian id, t_hit)` and
 ///   decides whether to commit (shrink `t_max`) or ignore.
+#[allow(clippy::too_many_arguments)] // mirrors the traceRayEXT surface: structure, ray, interval, buffers, hooks
 pub fn trace_round(
     accel: &AccelStruct,
     scene: &GaussianScene,
@@ -247,12 +251,12 @@ pub fn trace_round(
             match accel {
                 AccelStruct::Monolithic(m) => {
                     if m.bvh.node_count() > 0 {
-                        ctx.push_root_checked(&m.bvh, |id| Slot::MonoNode(id));
+                        ctx.push_root_checked(&m.bvh, Slot::MonoNode);
                     }
                 }
                 AccelStruct::TwoLevel(t) => {
                     if t.tlas.node_count() > 0 {
-                        ctx.push_root_checked(&t.tlas, |id| Slot::TlasNode(id));
+                        ctx.push_root_checked(&t.tlas, Slot::TlasNode);
                     }
                 }
             }
@@ -325,7 +329,11 @@ impl<'a> TraceCtx<'a> {
                 let local = self.enter_instance(two, instance);
                 self.process_blas_prims(two, instance, &local, pos, 1);
             }
-            Slot::BlasLeaf { instance, start, count } => {
+            Slot::BlasLeaf {
+                instance,
+                start,
+                count,
+            } => {
                 let two = self.two_level();
                 let local = self.enter_instance(two, instance);
                 self.process_blas_prims(two, instance, &local, start, count);
@@ -340,7 +348,10 @@ impl<'a> TraceCtx<'a> {
                 self.process_instance(two, instance, entry.t);
             }
             // Node / leaf-range entries resume normal stack traversal.
-            slot @ (Slot::MonoNode(_) | Slot::MonoLeaf { .. } | Slot::TlasNode(_) | Slot::TlasLeaf { .. }) => {
+            slot @ (Slot::MonoNode(_)
+            | Slot::MonoLeaf { .. }
+            | Slot::TlasNode(_)
+            | Slot::TlasLeaf { .. }) => {
                 self.stack.push((entry.t, slot));
                 self.drain();
             }
@@ -380,7 +391,7 @@ impl<'a> TraceCtx<'a> {
                     self.observer
                         .node_fetch(m.node_addr(id), m.node_stride, FetchKind::MonoNode);
                     self.outcome.nodes_fetched += 1;
-                    self.visit_wide_node(&m.bvh, id, |c| Slot::MonoNode(c), |s, n| Slot::MonoLeaf {
+                    self.visit_wide_node(&m.bvh, id, Slot::MonoNode, |s, n| Slot::MonoLeaf {
                         start: s,
                         count: n,
                     });
@@ -401,10 +412,13 @@ impl<'a> TraceCtx<'a> {
                 Slot::MonoPrim(pos) => self.process_mono_prim(pos),
                 Slot::TlasNode(id) => {
                     let t = self.two_level();
-                    self.observer
-                        .node_fetch(t.tlas_node_addr(id), t.node_stride, FetchKind::TlasNode);
+                    self.observer.node_fetch(
+                        t.tlas_node_addr(id),
+                        t.node_stride,
+                        FetchKind::TlasNode,
+                    );
                     self.outcome.nodes_fetched += 1;
-                    self.visit_wide_node(&t.tlas, id, |c| Slot::TlasNode(c), |s, n| Slot::TlasLeaf {
+                    self.visit_wide_node(&t.tlas, id, Slot::TlasNode, |s, n| Slot::TlasLeaf {
                         start: s,
                         count: n,
                     });
@@ -430,7 +444,11 @@ impl<'a> TraceCtx<'a> {
                     let local = self.enter_instance(two, instance);
                     self.drain_blas(two, instance, &local, vec![(t_key, node)]);
                 }
-                Slot::BlasLeaf { instance, start, count } => {
+                Slot::BlasLeaf {
+                    instance,
+                    start,
+                    count,
+                } => {
                     let two = self.two_level();
                     let local = self.enter_instance(two, instance);
                     self.process_blas_prims(two, instance, &local, start, count);
@@ -502,7 +520,8 @@ impl<'a> TraceCtx<'a> {
             (AccelStruct::TwoLevel(t), Slot::TlasLeaf { start, count }) => {
                 for pos in start..start + count {
                     let inst = t.tlas.prim_order[pos as usize];
-                    self.observer.prefetch_hint(t.instance_addr(inst), t.instance_stride);
+                    self.observer
+                        .prefetch_hint(t.instance_addr(inst), t.instance_stride);
                 }
             }
             _ => {}
@@ -536,8 +555,11 @@ impl<'a> TraceCtx<'a> {
     /// Fetches an instance record and performs the hardware ray
     /// transform; returns the object-space ray (t-preserving).
     fn enter_instance(&mut self, two: &TwoLevelBvh, instance: u32) -> Ray {
-        self.observer
-            .node_fetch(two.instance_addr(instance), two.instance_stride, FetchKind::Instance);
+        self.observer.node_fetch(
+            two.instance_addr(instance),
+            two.instance_stride,
+            FetchKind::Instance,
+        );
         self.observer.ray_transform();
         two.instances[instance as usize]
             .transform
@@ -585,21 +607,30 @@ impl<'a> TraceCtx<'a> {
         let SharedBlas::Mesh { bvh, .. } = &two.blas else {
             unreachable!("drain_blas requires a mesh BLAS")
         };
-        let mut stack: Vec<(f32, BlasItem)> =
-            init.into_iter().map(|(t, n)| (t, BlasItem::Node(n))).collect();
+        let mut stack: Vec<(f32, BlasItem)> = init
+            .into_iter()
+            .map(|(t, n)| (t, BlasItem::Node(n)))
+            .collect();
         while let Some((t_key, item)) = stack.pop() {
             if t_key > self.interval.t_max {
                 let slot = match item {
                     BlasItem::Node(node) => Slot::BlasNode { instance, node },
-                    BlasItem::Leaf { start, count } => Slot::BlasLeaf { instance, start, count },
+                    BlasItem::Leaf { start, count } => Slot::BlasLeaf {
+                        instance,
+                        start,
+                        count,
+                    },
                 };
                 self.checkpoint(t_key, slot);
                 continue;
             }
             match item {
                 BlasItem::Node(id) => {
-                    self.observer
-                        .node_fetch(two.blas_node_addr(id), two.node_stride, FetchKind::BlasNode);
+                    self.observer.node_fetch(
+                        two.blas_node_addr(id),
+                        two.node_stride,
+                        FetchKind::BlasNode,
+                    );
                     self.outcome.nodes_fetched += 1;
                     let node = &bvh.nodes[id as usize];
                     self.observer.box_tests(node.children.len() as u32);
@@ -619,9 +650,11 @@ impl<'a> TraceCtx<'a> {
                         if t_enter > self.interval.t_max {
                             let slot = match item {
                                 BlasItem::Node(node) => Slot::BlasNode { instance, node },
-                                BlasItem::Leaf { start, count } => {
-                                    Slot::BlasLeaf { instance, start, count }
-                                }
+                                BlasItem::Leaf { start, count } => Slot::BlasLeaf {
+                                    instance,
+                                    start,
+                                    count,
+                                },
                             };
                             self.checkpoint(t_enter, slot);
                         } else {
@@ -708,9 +741,7 @@ mod tests {
         // Gaussians strung along +Z so a single ray crosses all of them
         // in a known order.
         (0..n)
-            .map(|i| {
-                Gaussian::isotropic(Vec3::new(0.0, 0.0, i as f32 * 2.0), 0.2, 0.8, Vec3::ONE)
-            })
+            .map(|i| Gaussian::isotropic(Vec3::new(0.0, 0.0, i as f32 * 2.0), 0.2, 0.8, Vec3::ONE))
             .collect()
     }
 
@@ -742,7 +773,12 @@ mod tests {
     #[test]
     fn finds_all_gaussians_along_ray_sphere() {
         let scene = line_scene(10);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = line_ray();
         let hits = collect_hits(&accel, &scene, &ray);
         assert_eq!(hits.len(), 10);
@@ -754,7 +790,12 @@ mod tests {
     #[test]
     fn finds_all_gaussians_along_ray_mesh_monolithic() {
         let scene = line_scene(10);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::Mesh20, false, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::Mesh20,
+            false,
+            &LayoutConfig::default(),
+        );
         let ray = line_ray();
         let hits = collect_hits(&accel, &scene, &ray);
         assert_eq!(hits.len(), 10, "one front-face hit per proxy");
@@ -763,15 +804,29 @@ mod tests {
     #[test]
     fn t_min_culls_blended_prefix() {
         let scene = line_scene(10);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = line_ray();
         // Gaussian i sits at z = 2i, so t = 5 + 2i - 0.6σ-bound; t_min = 10
         // drops roughly the first 3.
         let mut hits = Vec::new();
-        trace_round(&accel, &scene, &ray, 10.0, None, None, &mut NullObserver, &mut |g, t| {
-            hits.push((g, t));
-            AnyHitVerdict::Ignore
-        });
+        trace_round(
+            &accel,
+            &scene,
+            &ray,
+            10.0,
+            None,
+            None,
+            &mut NullObserver,
+            &mut |g, t| {
+                hits.push((g, t));
+                AnyHitVerdict::Ignore
+            },
+        );
         assert!(hits.iter().all(|&(_, t)| t > 10.0));
         assert!(!hits.is_empty());
     }
@@ -779,14 +834,28 @@ mod tests {
     #[test]
     fn commit_shrinks_t_max_and_stops_far_hits() {
         let scene = line_scene(10);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = line_ray();
         let mut hits = Vec::new();
-        trace_round(&accel, &scene, &ray, 0.0, None, None, &mut NullObserver, &mut |g, t| {
-            hits.push((g, t));
-            // Commit immediately: t_max collapses onto the first hit.
-            AnyHitVerdict::Commit
-        });
+        trace_round(
+            &accel,
+            &scene,
+            &ray,
+            0.0,
+            None,
+            None,
+            &mut NullObserver,
+            &mut |g, t| {
+                hits.push((g, t));
+                // Commit immediately: t_max collapses onto the first hit.
+                AnyHitVerdict::Commit
+            },
+        );
         // Only hits at or before the earliest committed t can be reported.
         let min_t = hits.iter().map(|h| h.1).fold(f32::INFINITY, f32::min);
         assert!(hits.iter().all(|&(_, t)| t <= min_t + 1e-6 || t == min_t));
@@ -795,7 +864,12 @@ mod tests {
     #[test]
     fn checkpoint_plus_replay_finds_exactly_the_remainder() {
         let scene = line_scene(12);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = line_ray();
 
         // Round 1: a real k-buffer (k = 4) keeping the closest hits;
@@ -805,20 +879,29 @@ mod tests {
         let mut kbuf: Vec<(f32, u32)> = Vec::new();
         let mut evicted: Vec<(f32, u32)> = Vec::new();
         let mut ckpt = Vec::new();
-        trace_round(&accel, &scene, &ray, 0.0, None, Some(&mut ckpt), &mut NullObserver, &mut |g, t| {
-            let pos = kbuf.partition_point(|&(bt, bg)| (bt, bg) < (t, g));
-            kbuf.insert(pos, (t, g));
-            if kbuf.len() <= k {
-                return AnyHitVerdict::Ignore;
-            }
-            let rejected = kbuf.pop().unwrap();
-            evicted.push(rejected);
-            if rejected == (t, g) {
-                AnyHitVerdict::Commit // incoming was the farthest → report
-            } else {
-                AnyHitVerdict::Ignore
-            }
-        });
+        trace_round(
+            &accel,
+            &scene,
+            &ray,
+            0.0,
+            None,
+            Some(&mut ckpt),
+            &mut NullObserver,
+            &mut |g, t| {
+                let pos = kbuf.partition_point(|&(bt, bg)| (bt, bg) < (t, g));
+                kbuf.insert(pos, (t, g));
+                if kbuf.len() <= k {
+                    return AnyHitVerdict::Ignore;
+                }
+                let rejected = kbuf.pop().unwrap();
+                evicted.push(rejected);
+                if rejected == (t, g) {
+                    AnyHitVerdict::Commit // incoming was the farthest → report
+                } else {
+                    AnyHitVerdict::Ignore
+                }
+            },
+        );
         assert!(!ckpt.is_empty(), "far nodes must be checkpointed");
         assert_eq!(kbuf.len(), k);
 
@@ -844,10 +927,19 @@ mod tests {
 
         // Baseline round 2: restart from the root with the same t_min.
         let mut baseline_found: Vec<(f32, u32)> = Vec::new();
-        trace_round(&accel, &scene, &ray, t_min, None, None, &mut NullObserver, &mut |g, t| {
-            baseline_found.push((t, g));
-            AnyHitVerdict::Ignore
-        });
+        trace_round(
+            &accel,
+            &scene,
+            &ray,
+            t_min,
+            None,
+            None,
+            &mut NullObserver,
+            &mut |g, t| {
+                baseline_found.push((t, g));
+                AnyHitVerdict::Ignore
+            },
+        );
         baseline_found.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         assert_eq!(
@@ -859,22 +951,36 @@ mod tests {
     #[test]
     fn replay_fetches_fewer_nodes_than_restart() {
         let scene = line_scene(64);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::Mesh20, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::Mesh20,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = line_ray();
 
         let k = 4;
         let run_round1 = |ckpt: CheckpointSink<'_>| {
             let mut taken = 0;
             let mut last_t = 0.0f32;
-            let outcome = trace_round(&accel, &scene, &ray, 0.0, None, ckpt, &mut NullObserver, &mut |_, t| {
-                if taken < k {
-                    taken += 1;
-                    last_t = last_t.max(t);
-                    AnyHitVerdict::Ignore
-                } else {
-                    AnyHitVerdict::Commit
-                }
-            });
+            let outcome = trace_round(
+                &accel,
+                &scene,
+                &ray,
+                0.0,
+                None,
+                ckpt,
+                &mut NullObserver,
+                &mut |_, t| {
+                    if taken < k {
+                        taken += 1;
+                        last_t = last_t.max(t);
+                        AnyHitVerdict::Ignore
+                    } else {
+                        AnyHitVerdict::Commit
+                    }
+                },
+            );
             (outcome, last_t)
         };
 
@@ -882,9 +988,26 @@ mod tests {
         let (_, t_min) = run_round1(Some(&mut ckpt));
 
         let noop = &mut |_: u32, _: f32| AnyHitVerdict::Ignore;
-        let replay =
-            trace_round(&accel, &scene, &ray, t_min, Some(&ckpt), None, &mut NullObserver, noop);
-        let restart = trace_round(&accel, &scene, &ray, t_min, None, None, &mut NullObserver, noop);
+        let replay = trace_round(
+            &accel,
+            &scene,
+            &ray,
+            t_min,
+            Some(&ckpt),
+            None,
+            &mut NullObserver,
+            noop,
+        );
+        let restart = trace_round(
+            &accel,
+            &scene,
+            &ray,
+            t_min,
+            None,
+            None,
+            &mut NullObserver,
+            noop,
+        );
         assert!(
             replay.nodes_fetched < restart.nodes_fetched,
             "replay {} should fetch fewer nodes than restart {}",
@@ -896,18 +1019,35 @@ mod tests {
     #[test]
     fn empty_scene_traverses_nothing() {
         let scene = GaussianScene::new(vec![]);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = Ray::new(Vec3::ZERO, Vec3::Z);
-        let outcome = trace_round(&accel, &scene, &ray, 0.0, None, None, &mut NullObserver, &mut |_, _| {
-            panic!("no hits possible")
-        });
+        let outcome = trace_round(
+            &accel,
+            &scene,
+            &ray,
+            0.0,
+            None,
+            None,
+            &mut NullObserver,
+            &mut |_, _| panic!("no hits possible"),
+        );
         assert_eq!(outcome.nodes_fetched, 0);
     }
 
     #[test]
     fn ray_missing_scene_reports_nothing() {
         let scene = line_scene(5);
-        let accel = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let ray = Ray::new(Vec3::new(100.0, 100.0, 0.0), Vec3::Z);
         let hits = collect_hits(&accel, &scene, &ray);
         assert!(hits.is_empty());

@@ -6,11 +6,11 @@
 //! so one BLAS of a few kilobytes serves millions of Gaussians — this is
 //! the entire source of the BVH size reduction and L1 locality gain.
 
-use crate::builder::{BuildPrim, BuilderConfig, build_wide_bvh};
+use crate::builder::{build_wide_bvh, BuildPrim, BuilderConfig};
 use crate::layout::{AddressSpace, BvhSizeReport, LayoutConfig};
 use crate::wide::WideBvh;
 use crate::BoundingPrimitive;
-use grtx_math::{Affine3, Ray, intersect};
+use grtx_math::{intersect, Affine3, Ray};
 use grtx_scene::{GaussianScene, TemplateMesh};
 
 /// One TLAS leaf: a Gaussian instance with its object-to-world transform.
@@ -71,14 +71,21 @@ pub struct TwoLevelBvh {
 
 impl TwoLevelBvh {
     /// Builds the TLAS + shared BLAS for a scene.
-    pub fn build(scene: &GaussianScene, primitive: BoundingPrimitive, layout: &LayoutConfig) -> Self {
+    pub fn build(
+        scene: &GaussianScene,
+        primitive: BoundingPrimitive,
+        layout: &LayoutConfig,
+    ) -> Self {
         let build_prims: Vec<BuildPrim> = scene
             .world_aabbs()
             .map(|(_, aabb)| BuildPrim::from_aabb(aabb))
             .collect();
         let tlas = build_wide_bvh(
             &build_prims,
-            &BuilderConfig { max_leaf_size: layout.tlas_max_leaf, ..Default::default() },
+            &BuilderConfig {
+                max_leaf_size: layout.tlas_max_leaf,
+                ..Default::default()
+            },
         );
         let instances: Vec<Instance> = (0..scene.len())
             .map(|i| Instance {
@@ -88,10 +95,14 @@ impl TwoLevelBvh {
             .collect();
 
         let (blas, blas_prim_count, blas_prim_stride) = match primitive {
-            BoundingPrimitive::UnitSphere => (SharedBlas::UnitSphere, 1u64, layout.sphere_prim_bytes),
-            BoundingPrimitive::CustomEllipsoid => {
-                (SharedBlas::CustomEllipsoid, 1u64, layout.ellipsoid_prim_bytes)
+            BoundingPrimitive::UnitSphere => {
+                (SharedBlas::UnitSphere, 1u64, layout.sphere_prim_bytes)
             }
+            BoundingPrimitive::CustomEllipsoid => (
+                SharedBlas::CustomEllipsoid,
+                1u64,
+                layout.ellipsoid_prim_bytes,
+            ),
             BoundingPrimitive::Mesh20 | BoundingPrimitive::Mesh80 => {
                 let mesh = if primitive == BoundingPrimitive::Mesh20 {
                     TemplateMesh::icosahedron()
@@ -109,7 +120,10 @@ impl TwoLevelBvh {
                     .collect();
                 let bvh = build_wide_bvh(
                     &tri_prims,
-                    &BuilderConfig { max_leaf_size: layout.mono_max_leaf, ..Default::default() },
+                    &BuilderConfig {
+                        max_leaf_size: layout.mono_max_leaf,
+                        ..Default::default()
+                    },
                 );
                 let count = bvh.prim_count() as u64;
                 (SharedBlas::Mesh { bvh, mesh }, count, layout.triangle_bytes)
@@ -127,8 +141,8 @@ impl TwoLevelBvh {
         let blas_node_base = space.alloc(blas_node_count, layout.node_bytes);
         let blas_prim_base = space.alloc(blas_prim_count, blas_prim_stride);
 
-        let tlas_bytes =
-            tlas.node_count() as u64 * layout.node_bytes + instances.len() as u64 * layout.instance_bytes;
+        let tlas_bytes = tlas.node_count() as u64 * layout.node_bytes
+            + instances.len() as u64 * layout.instance_bytes;
         let blas_bytes = blas_node_count * layout.node_bytes + blas_prim_count * blas_prim_stride;
         let size_report = BvhSizeReport {
             total_bytes: tlas_bytes + blas_bytes,
@@ -176,8 +190,13 @@ impl TwoLevelBvh {
     pub fn intersect_blas_prim(&self, prim_pos: u32, local_ray: &Ray) -> Option<f32> {
         match &self.blas {
             SharedBlas::UnitSphere | SharedBlas::CustomEllipsoid => {
-                intersect::ray_sphere_unit(local_ray)
-                    .map(|h| if h.t_enter > 0.0 { h.t_enter } else { h.t_exit })
+                intersect::ray_sphere_unit(local_ray).map(|h| {
+                    if h.t_enter > 0.0 {
+                        h.t_enter
+                    } else {
+                        h.t_exit
+                    }
+                })
             }
             SharedBlas::Mesh { bvh, mesh } => {
                 let tri = bvh.prim_order[prim_pos as usize] as usize;
@@ -235,7 +254,11 @@ mod tests {
     #[test]
     fn one_instance_per_gaussian() {
         let scene = small_scene();
-        let t = TwoLevelBvh::build(&scene, BoundingPrimitive::UnitSphere, &LayoutConfig::default());
+        let t = TwoLevelBvh::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            &LayoutConfig::default(),
+        );
         assert_eq!(t.instances.len(), scene.len());
         assert_eq!(t.size_report.instance_count, scene.len() as u64);
     }
@@ -260,7 +283,11 @@ mod tests {
     #[test]
     fn two_level_is_much_smaller_than_monolithic() {
         let scene = small_scene();
-        let mono = crate::MonolithicBvh::build(&scene, BoundingPrimitive::Mesh20, &LayoutConfig::default());
+        let mono = crate::MonolithicBvh::build(
+            &scene,
+            BoundingPrimitive::Mesh20,
+            &LayoutConfig::default(),
+        );
         let two = TwoLevelBvh::build(&scene, BoundingPrimitive::Mesh20, &LayoutConfig::default());
         assert!(
             two.size_report.total_bytes * 4 < mono.size_report.total_bytes,
@@ -273,7 +300,11 @@ mod tests {
     #[test]
     fn tlas_validates() {
         let scene = small_scene();
-        let t = TwoLevelBvh::build(&scene, BoundingPrimitive::UnitSphere, &LayoutConfig::default());
+        let t = TwoLevelBvh::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            &LayoutConfig::default(),
+        );
         let aabbs: Vec<grtx_math::Aabb> = scene.world_aabbs().map(|(_, a)| a).collect();
         t.tlas.validate(&aabbs, 1e-3).expect("valid TLAS");
     }
@@ -281,7 +312,11 @@ mod tests {
     #[test]
     fn sphere_blas_hit_matches_world_ellipsoid() {
         let scene = small_scene();
-        let t = TwoLevelBvh::build(&scene, BoundingPrimitive::UnitSphere, &LayoutConfig::default());
+        let t = TwoLevelBvh::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            &LayoutConfig::default(),
+        );
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
         // Instance 0 is the Gaussian at the origin with σ = 0.15; its
         // 3σ ellipsoid is a sphere of radius 0.45.
@@ -324,7 +359,11 @@ mod tests {
     #[test]
     fn height_combines_tlas_and_blas() {
         let scene = small_scene();
-        let sphere = TwoLevelBvh::build(&scene, BoundingPrimitive::UnitSphere, &LayoutConfig::default());
+        let sphere = TwoLevelBvh::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            &LayoutConfig::default(),
+        );
         let mesh = TwoLevelBvh::build(&scene, BoundingPrimitive::Mesh80, &LayoutConfig::default());
         assert!(mesh.height() > sphere.height());
     }

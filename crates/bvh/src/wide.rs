@@ -110,7 +110,13 @@ impl WideBvh {
             ));
         }
         // Recursive containment + width checks.
-        self.validate_node(0, &self.root_aabb, prim_aabbs, eps, &mut vec![false; self.nodes.len()])
+        self.validate_node(
+            0,
+            &self.root_aabb,
+            prim_aabbs,
+            eps,
+            &mut vec![false; self.nodes.len()],
+        )
     }
 
     fn validate_node(

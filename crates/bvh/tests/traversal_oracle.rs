@@ -3,7 +3,7 @@
 
 use grtx_bvh::reference::brute_force_hits;
 use grtx_bvh::{
-    AccelStruct, AnyHitVerdict, BoundingPrimitive, LayoutConfig, NullObserver, trace_round,
+    trace_round, AccelStruct, AnyHitVerdict, BoundingPrimitive, LayoutConfig, NullObserver,
 };
 use grtx_math::{Quat, Ray, Vec3};
 use grtx_scene::{Gaussian, GaussianScene, ShCoeffs};
@@ -13,7 +13,12 @@ fn arb_gaussian() -> impl Strategy<Value = Gaussian> {
     (
         (-5.0f32..5.0, -5.0f32..5.0, -5.0f32..5.0),
         (0.05f32..0.8, 0.05f32..0.8, 0.05f32..0.8),
-        (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0, 0.0f32..std::f32::consts::TAU),
+        (
+            -1.0f32..1.0,
+            -1.0f32..1.0,
+            -1.0f32..1.0,
+            0.0f32..std::f32::consts::TAU,
+        ),
         0.1f32..0.95,
     )
         .prop_map(|(m, s, (ax, ay, az, angle), o)| {
@@ -60,10 +65,19 @@ fn traversal_hits(
 ) -> Vec<(u32, f32)> {
     let accel = AccelStruct::build(scene, primitive, two_level, &LayoutConfig::default());
     let mut hits = Vec::new();
-    trace_round(&accel, scene, ray, t_min, None, None, &mut NullObserver, &mut |g, t| {
-        hits.push((g, t));
-        AnyHitVerdict::Ignore
-    });
+    trace_round(
+        &accel,
+        scene,
+        ray,
+        t_min,
+        None,
+        None,
+        &mut NullObserver,
+        &mut |g, t| {
+            hits.push((g, t));
+            AnyHitVerdict::Ignore
+        },
+    );
     hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     hits
 }
@@ -78,7 +92,12 @@ fn assert_hits_match(mut a: Vec<(u32, f32)>, mut b: Vec<(u32, f32)>) -> Result<(
     let ids_b: Vec<u32> = b.iter().map(|h| h.0).collect();
     prop_assert_eq!(ids_a, ids_b, "hit sets differ");
     for (x, y) in a.iter().zip(&b) {
-        prop_assert!((x.1 - y.1).abs() < 1e-3 * (1.0 + x.1.abs()), "t mismatch: {} vs {}", x.1, y.1);
+        prop_assert!(
+            (x.1 - y.1).abs() < 1e-3 * (1.0 + x.1.abs()),
+            "t mismatch: {} vs {}",
+            x.1,
+            y.1
+        );
     }
     Ok(())
 }
@@ -113,7 +132,10 @@ fn assert_hits_match_graze(
     let map_b: std::collections::HashMap<u32, f32> = b.iter().map(|&(g, t)| (g, t)).collect();
     for (g, t) in &a {
         if let Some(tb) = map_b.get(g) {
-            prop_assert!((t - tb).abs() < 1e-3 * (1.0 + t.abs()), "t mismatch for {g}");
+            prop_assert!(
+                (t - tb).abs() < 1e-3 * (1.0 + t.abs()),
+                "t mismatch for {g}"
+            );
         }
     }
     Ok(())

@@ -44,9 +44,18 @@ fn main() {
 
         println!("GRTX k-sweep:");
         for k in [4usize, 8, 16, 32] {
-            let r = setup.run(&PipelineVariant::grtx(), &RunOptions { k, ..Default::default() });
-            println!("  k={k:<3} {:>9.3} ms ({:.1} rounds/ray)", r.report.time_ms,
-                r.report.stats.rounds as f64 / r.report.stats.rays.max(1) as f64);
+            let r = setup.run(
+                &PipelineVariant::grtx(),
+                &RunOptions {
+                    k,
+                    ..Default::default()
+                },
+            );
+            println!(
+                "  k={k:<3} {:>9.3} ms ({:.1} rounds/ray)",
+                r.report.time_ms,
+                r.report.stats.rounds as f64 / r.report.stats.rays.max(1) as f64
+            );
         }
     }
 }

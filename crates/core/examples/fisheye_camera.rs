@@ -13,8 +13,8 @@
 use grtx::{Camera, CameraModel, LayoutConfig, PipelineVariant, RenderConfig};
 use grtx_math::Vec3;
 use grtx_render::renderer::render_functional;
-use grtx_render::{RasterConfig, render_rasterized};
-use grtx_scene::{SceneKind, synth::generate_scene};
+use grtx_render::{render_rasterized, RasterConfig};
+use grtx_scene::{synth::generate_scene, SceneKind};
 use grtx_sim::GpuConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,12 +58,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
     let raster_attempt = std::panic::catch_unwind(|| {
-        render_rasterized(&scene, &fisheye, &RasterConfig::default(), &GpuConfig::default())
+        render_rasterized(
+            &scene,
+            &fisheye,
+            &RasterConfig::default(),
+            &GpuConfig::default(),
+        )
     });
     std::panic::set_hook(default_hook);
     println!(
         "rasterizer on the fisheye camera: {}",
-        if raster_attempt.is_err() { "rejected (as expected)" } else { "unexpectedly succeeded!" }
+        if raster_attempt.is_err() {
+            "rejected (as expected)"
+        } else {
+            "unexpectedly succeeded!"
+        }
     );
     Ok(())
 }

@@ -12,7 +12,10 @@ use grtx_scene::SceneKind;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let setup = SceneSetup::evaluation(SceneKind::Drjohnson, 200, 96, 42);
-    let opts = RunOptions { effects_seed: Some(11), ..Default::default() };
+    let opts = RunOptions {
+        effects_seed: Some(11),
+        ..Default::default()
+    };
 
     println!("scene: {} + glass sphere + mirror quad", setup.kind);
     for variant in [PipelineVariant::baseline(), PipelineVariant::grtx_hw()] {
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if variant.name == "GRTX-HW" {
             let path = std::env::temp_dir().join("grtx_secondary.ppm");
             r.image.write_ppm(&path)?;
-            println!("image with reflections/refractions written to {}", path.display());
+            println!(
+                "image with reflections/refractions written to {}",
+                path.display()
+            );
         }
     }
     println!("(checkpointing accelerates secondary rays as much as primaries:");

@@ -2,7 +2,8 @@
 //! map one-to-one onto the paper's figures.
 
 use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
-use grtx_render::renderer::{RenderConfig, RenderReport, render_simulated};
+use grtx_render::engine::RenderEngine;
+use grtx_render::renderer::{RenderConfig, RenderReport};
 use grtx_render::tracer::{KBufferStorage, TraceMode, TraceParams};
 use grtx_scene::profile::DEFAULT_SCALE_DIVISOR;
 use grtx_scene::synth::generate_scene;
@@ -26,12 +27,22 @@ pub struct PipelineVariant {
 impl PipelineVariant {
     /// 3DGRT baseline: monolithic BVH over stretched icosahedra.
     pub fn baseline() -> Self {
-        Self { name: "Baseline", primitive: BoundingPrimitive::Mesh20, two_level: false, checkpointing: false }
+        Self {
+            name: "Baseline",
+            primitive: BoundingPrimitive::Mesh20,
+            two_level: false,
+            checkpointing: false,
+        }
     }
 
     /// Condor et al. baseline: monolithic BVH over 80-triangle icospheres.
     pub fn baseline_80() -> Self {
-        Self { name: "80-tri", primitive: BoundingPrimitive::Mesh80, two_level: false, checkpointing: false }
+        Self {
+            name: "80-tri",
+            primitive: BoundingPrimitive::Mesh80,
+            two_level: false,
+            checkpointing: false,
+        }
     }
 
     /// EVER/RayGauss-style custom primitive: one software ellipsoid per
@@ -47,32 +58,62 @@ impl PipelineVariant {
 
     /// GRTX-SW: TLAS + shared 20-triangle BLAS.
     pub fn grtx_sw() -> Self {
-        Self { name: "GRTX-SW", primitive: BoundingPrimitive::Mesh20, two_level: true, checkpointing: false }
+        Self {
+            name: "GRTX-SW",
+            primitive: BoundingPrimitive::Mesh20,
+            two_level: true,
+            checkpointing: false,
+        }
     }
 
     /// GRTX-SW with the 80-triangle shared BLAS (Fig. 12 "TLAS+80-tri").
     pub fn grtx_sw_80() -> Self {
-        Self { name: "TLAS+80-tri", primitive: BoundingPrimitive::Mesh80, two_level: true, checkpointing: false }
+        Self {
+            name: "TLAS+80-tri",
+            primitive: BoundingPrimitive::Mesh80,
+            two_level: true,
+            checkpointing: false,
+        }
     }
 
     /// GRTX-SW with the hardware sphere primitive (Fig. 22).
     pub fn grtx_sw_sphere() -> Self {
-        Self { name: "TLAS+sphere", primitive: BoundingPrimitive::UnitSphere, two_level: true, checkpointing: false }
+        Self {
+            name: "TLAS+sphere",
+            primitive: BoundingPrimitive::UnitSphere,
+            two_level: true,
+            checkpointing: false,
+        }
     }
 
     /// GRTX-HW: baseline structure plus traversal checkpointing only.
     pub fn grtx_hw() -> Self {
-        Self { name: "GRTX-HW", primitive: BoundingPrimitive::Mesh20, two_level: false, checkpointing: true }
+        Self {
+            name: "GRTX-HW",
+            primitive: BoundingPrimitive::Mesh20,
+            two_level: false,
+            checkpointing: true,
+        }
     }
 
     /// Full GRTX: shared-BLAS structure plus checkpointing.
     pub fn grtx() -> Self {
-        Self { name: "GRTX", primitive: BoundingPrimitive::Mesh20, two_level: true, checkpointing: true }
+        Self {
+            name: "GRTX",
+            primitive: BoundingPrimitive::Mesh20,
+            two_level: true,
+            checkpointing: true,
+        }
     }
 
     /// The four-variant lineup of Fig. 13.
     pub fn fig13_lineup() -> [Self; 4] {
-        [Self::baseline(), Self::grtx_sw(), Self::grtx_hw(), Self::grtx()]
+        [
+            Self::baseline(),
+            Self::grtx_sw(),
+            Self::grtx_hw(),
+            Self::grtx(),
+        ]
     }
 }
 
@@ -98,6 +139,11 @@ pub struct RunOptions {
     /// Add the glass sphere + mirror objects and trace secondary rays
     /// (Fig. 23); the value is the placement seed.
     pub effects_seed: Option<u64>,
+    /// Host worker threads for the render engine (`0` = all available
+    /// cores, capped at the simulated SM count). Thread count never
+    /// changes results — images, cycles, and statistics are bit-identical
+    /// at any value — only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for RunOptions {
@@ -111,6 +157,7 @@ impl Default for RunOptions {
             charge_blending: true,
             storage: KBufferStorage::GlobalSoA,
             effects_seed: None,
+            threads: 0,
         }
     }
 }
@@ -151,7 +198,9 @@ impl SceneSetup {
     pub fn evaluation(kind: SceneKind, divisor: usize, resolution: u32, seed: u64) -> Self {
         let base = kind.profile();
         let budget = (base.full_gaussian_count / divisor.max(1)).max(1);
-        let profile = base.with_gaussian_budget(budget).with_resolution(resolution, resolution);
+        let profile = base
+            .with_gaussian_budget(budget)
+            .with_resolution(resolution, resolution);
         Self::from_profile(kind, profile, divisor, seed)
     }
 
@@ -160,7 +209,13 @@ impl SceneSetup {
     pub fn from_profile(kind: SceneKind, profile: SceneProfile, divisor: usize, seed: u64) -> Self {
         let scene = generate_scene(profile.clone(), seed);
         let camera = Camera::for_profile(&profile);
-        Self { kind, profile, scene, camera, divisor }
+        Self {
+            kind,
+            profile,
+            scene,
+            camera,
+            divisor,
+        }
     }
 
     /// The default evaluation scale divisor, overridable with the
@@ -175,7 +230,10 @@ impl SceneSetup {
 
     /// Default evaluation resolution, overridable with `GRTX_RES`.
     pub fn env_resolution() -> u32 {
-        std::env::var("GRTX_RES").ok().and_then(|v| v.parse().ok()).unwrap_or(96)
+        std::env::var("GRTX_RES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(96)
     }
 
     /// Builds the acceleration structure for a variant.
@@ -185,7 +243,11 @@ impl SceneSetup {
 
     /// Runs one full simulated render for `(variant, options)`.
     pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
-        let layout = if options.layout_amd { LayoutConfig::amd() } else { LayoutConfig::default() };
+        let layout = if options.layout_amd {
+            LayoutConfig::amd()
+        } else {
+            LayoutConfig::default()
+        };
         let accel = self.build_accel(variant, &layout);
         self.run_with_accel(&accel, variant, options)
     }
@@ -217,9 +279,16 @@ impl SceneSetup {
             ..Default::default()
         };
         let gpu = options.gpu.clone().with_cache_scale(self.divisor);
-        let effects = options.effects_seed.map(|s| EffectObjects::place_in(self.profile.half_extent, s));
-        let report =
-            render_simulated(accel, &self.scene, &self.camera, effects.as_ref(), &config, gpu);
+        let effects = options
+            .effects_seed
+            .map(|s| EffectObjects::place_in(self.profile.half_extent, s));
+        let report = RenderEngine::new(gpu).with_threads(options.threads).render(
+            accel,
+            &self.scene,
+            &self.camera,
+            effects.as_ref(),
+            &config,
+        );
         ExperimentResult {
             report,
             size: *accel.size_report(),
@@ -264,14 +333,28 @@ mod tests {
         // bitwise invisible; across structure organizations the triangle
         // arithmetic differs in rounding only (high PSNR).
         let setup = tiny_setup();
-        let opts = RunOptions { k: 8, ..Default::default() };
+        let opts = RunOptions {
+            k: 8,
+            ..Default::default()
+        };
         let images: Vec<_> = PipelineVariant::fig13_lineup()
             .iter()
             .map(|v| setup.run(v, &opts).report.image)
             .collect();
-        assert_eq!(images[0].psnr(&images[2]), f64::INFINITY, "HW vs baseline must be bitwise");
-        assert_eq!(images[1].psnr(&images[3]), f64::INFINITY, "GRTX vs SW must be bitwise");
-        assert!(images[0].psnr(&images[1]) > 50.0, "cross-structure divergence");
+        assert_eq!(
+            images[0].psnr(&images[2]),
+            f64::INFINITY,
+            "HW vs baseline must be bitwise"
+        );
+        assert_eq!(
+            images[1].psnr(&images[3]),
+            f64::INFINITY,
+            "GRTX vs SW must be bitwise"
+        );
+        assert!(
+            images[0].psnr(&images[1]) > 50.0,
+            "cross-structure divergence"
+        );
     }
 
     #[test]
@@ -298,7 +381,10 @@ mod tests {
     #[test]
     fn effects_seed_adds_secondary_rays_or_none() {
         let setup = tiny_setup();
-        let opts = RunOptions { effects_seed: Some(5), ..Default::default() };
+        let opts = RunOptions {
+            effects_seed: Some(5),
+            ..Default::default()
+        };
         let r = setup.run(&PipelineVariant::baseline(), &opts);
         // Placement is random; either outcome is legal but the run must
         // complete with a valid report.

@@ -37,7 +37,7 @@ pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup};
 
 pub use grtx_bvh::{AccelStruct, BoundingPrimitive, LayoutConfig};
 pub use grtx_render::{
-    Image, RenderConfig, RenderReport, TraceMode, TraceParams, render_rasterized,
+    render_rasterized, Image, RenderConfig, RenderEngine, RenderReport, TraceMode, TraceParams,
 };
 pub use grtx_scene::{Camera, CameraModel, EffectObjects, Gaussian, GaussianScene, SceneKind};
-pub use grtx_sim::{GpuConfig, checkpoint_hw_cost_bytes};
+pub use grtx_sim::{checkpoint_hw_cost_bytes, GpuConfig};

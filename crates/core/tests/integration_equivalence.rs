@@ -81,10 +81,17 @@ proptest! {
 #[test]
 fn secondary_ray_images_match_between_baseline_and_hw() {
     let setup = tiny_setup(3);
-    let opts = RunOptions { effects_seed: Some(5), ..Default::default() };
+    let opts = RunOptions {
+        effects_seed: Some(5),
+        ..Default::default()
+    };
     let base = setup.run(&PipelineVariant::baseline(), &opts).report.image;
     let hw = setup.run(&PipelineVariant::grtx_hw(), &opts).report.image;
-    assert_eq!(base.psnr(&hw), f64::INFINITY, "checkpointing must not change effects images");
+    assert_eq!(
+        base.psnr(&hw),
+        f64::INFINITY,
+        "checkpointing must not change effects images"
+    );
 }
 
 #[test]
@@ -93,8 +100,14 @@ fn sphere_and_custom_primitive_images_match() {
     // though one runs in "hardware" and one in a software shader.
     let setup = tiny_setup(8);
     let opts = RunOptions::default();
-    let sphere = setup.run(&PipelineVariant::grtx_sw_sphere(), &opts).report.image;
-    let custom = setup.run(&PipelineVariant::custom_primitive(), &opts).report.image;
+    let sphere = setup
+        .run(&PipelineVariant::grtx_sw_sphere(), &opts)
+        .report
+        .image;
+    let custom = setup
+        .run(&PipelineVariant::custom_primitive(), &opts)
+        .report
+        .image;
     let psnr = sphere.psnr(&custom);
     assert!(psnr > 60.0, "sphere vs custom primitive PSNR {psnr:.1} dB");
 }

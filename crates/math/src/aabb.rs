@@ -221,7 +221,11 @@ mod tests {
         let linear = Mat3::from_diagonal(Vec3::new(2.0, 0.5, 1.0));
         let t = Vec3::new(1.0, 2.0, 3.0);
         let tb = b.transformed(&linear, t);
-        for p in [Vec3::splat(-1.0), Vec3::splat(1.0), Vec3::new(1.0, -1.0, 0.3)] {
+        for p in [
+            Vec3::splat(-1.0),
+            Vec3::splat(1.0),
+            Vec3::new(1.0, -1.0, 0.3),
+        ] {
             assert!(tb.contains_point(linear.mul_vec3(p) + t));
         }
     }

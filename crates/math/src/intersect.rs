@@ -52,7 +52,10 @@ pub fn ray_sphere_unit(ray: &Ray) -> Option<SpanHit> {
     if t1 < 0.0 {
         return None;
     }
-    Some(SpanHit { t_enter: t0.max(0.0), t_exit: t1 })
+    Some(SpanHit {
+        t_enter: t0.max(0.0),
+        t_exit: t1,
+    })
 }
 
 /// Ray–sphere test against a sphere of radius `radius` centered at

@@ -27,7 +27,11 @@ impl Mat3 {
 
     /// Builds a matrix from column vectors.
     pub const fn from_cols(x_axis: Vec3, y_axis: Vec3, z_axis: Vec3) -> Self {
-        Self { x_axis, y_axis, z_axis }
+        Self {
+            x_axis,
+            y_axis,
+            z_axis,
+        }
     }
 
     /// Builds a diagonal matrix.
@@ -161,7 +165,12 @@ impl Mat4 {
 
     /// Builds a matrix from column vectors.
     pub const fn from_cols(x_axis: Vec4, y_axis: Vec4, z_axis: Vec4, w_axis: Vec4) -> Self {
-        Self { x_axis, y_axis, z_axis, w_axis }
+        Self {
+            x_axis,
+            y_axis,
+            z_axis,
+            w_axis,
+        }
     }
 
     /// Builds an affine matrix from a linear part and a translation.
@@ -200,9 +209,8 @@ impl Mat4 {
 
     /// Matrix product `self * other`.
     pub fn mul_mat4(&self, other: &Self) -> Self {
-        let mul_vec4 = |v: Vec4| {
-            self.x_axis * v.x + self.y_axis * v.y + self.z_axis * v.z + self.w_axis * v.w
-        };
+        let mul_vec4 =
+            |v: Vec4| self.x_axis * v.x + self.y_axis * v.y + self.z_axis * v.z + self.w_axis * v.w;
         Self::from_cols(
             mul_vec4(other.x_axis),
             mul_vec4(other.y_axis),

@@ -19,7 +19,12 @@ pub struct Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Self = Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Self = Self {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from components `(w, x, y, z)`.
     pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {

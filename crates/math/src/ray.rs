@@ -21,7 +21,11 @@ pub struct Ray {
 impl Ray {
     /// Creates a ray from an origin and a direction.
     pub fn new(origin: Vec3, direction: Vec3) -> Self {
-        Self { origin, direction, inv_direction: direction.recip() }
+        Self {
+            origin,
+            direction,
+            inv_direction: direction.recip(),
+        }
     }
 
     /// Point at parameter `t`.
@@ -45,7 +49,10 @@ pub struct Interval {
 
 impl Interval {
     /// The full `(0, ∞)` interval used by the first tracing round.
-    pub const FULL: Self = Self { t_min: 0.0, t_max: f32::INFINITY };
+    pub const FULL: Self = Self {
+        t_min: 0.0,
+        t_max: f32::INFINITY,
+    };
 
     /// Creates an interval.
     pub fn new(t_min: f32, t_max: f32) -> Self {

@@ -37,7 +37,11 @@ impl Affine3 {
     /// a zero scale axis), which callers must filter out at scene load.
     pub fn new(linear: Mat3, translation: Vec3) -> Option<Self> {
         let inv_linear = linear.inverse()?;
-        Some(Self { linear, translation, inv_linear })
+        Some(Self {
+            linear,
+            translation,
+            inv_linear,
+        })
     }
 
     /// Transforms a point object → world.
@@ -112,7 +116,10 @@ mod tests {
         let center = Vec3::new(2.0, -1.0, 5.0);
         let instance = Affine3::new(linear, center).expect("invertible");
 
-        let ray = Ray::new(Vec3::new(-4.0, 0.5, 0.0), (center - Vec3::new(-4.0, 0.5, 0.0)).normalized());
+        let ray = Ray::new(
+            Vec3::new(-4.0, 0.5, 0.0),
+            (center - Vec3::new(-4.0, 0.5, 0.0)).normalized(),
+        );
         let world_hit = ray_ellipsoid(&ray, center, &instance.inv_linear).expect("hit");
         let local_ray = instance.inverse_transform_ray(&ray);
         let local_hit = ray_sphere_unit(&local_ray).expect("hit");

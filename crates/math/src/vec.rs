@@ -1,7 +1,9 @@
 //! Fixed-size vector types (`Vec2`, `Vec3`, `Vec4`).
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 2-component `f32` vector (used for image-plane coordinates).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -112,12 +114,20 @@ impl Vec3 {
 
     /// Component-wise minimum.
     pub fn min(self, other: Self) -> Self {
-        Self::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Self::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     pub fn max(self, other: Self) -> Self {
-        Self::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Self::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Component-wise absolute value.
@@ -312,7 +322,12 @@ impl fmt::Display for Vec4 {
 impl Add for Vec4 {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
-        Self::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z, self.w + rhs.w)
+        Self::new(
+            self.x + rhs.x,
+            self.y + rhs.y,
+            self.z + rhs.z,
+            self.w + rhs.w,
+        )
     }
 }
 
@@ -399,7 +414,10 @@ mod tests {
 
     #[test]
     fn vec4_truncate_drops_w() {
-        assert_eq!(Vec4::new(1.0, 2.0, 3.0, 4.0).truncate(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(
+            Vec4::new(1.0, 2.0, 3.0, 4.0).truncate(),
+            Vec3::new(1.0, 2.0, 3.0)
+        );
     }
 
     #[test]

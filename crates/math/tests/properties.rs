@@ -10,7 +10,11 @@ fn finite_f32(range: std::ops::Range<f32>) -> impl Strategy<Value = f32> {
 }
 
 fn vec3(range: std::ops::Range<f32>) -> impl Strategy<Value = Vec3> {
-    (finite_f32(range.clone()), finite_f32(range.clone()), finite_f32(range))
+    (
+        finite_f32(range.clone()),
+        finite_f32(range.clone()),
+        finite_f32(range),
+    )
         .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 

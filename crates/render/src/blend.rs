@@ -26,7 +26,11 @@ pub struct BlendState {
 impl BlendState {
     /// Fresh state (black, fully transparent path).
     pub fn new() -> Self {
-        Self { color: Vec3::ZERO, transmittance: 1.0, blended: 0 }
+        Self {
+            color: Vec3::ZERO,
+            transmittance: 1.0,
+            blended: 0,
+        }
     }
 
     /// Blends one Gaussian. Returns the alpha it contributed.

@@ -1,0 +1,524 @@
+//! The parallel render engine: per-SM fragment simulation fanned out
+//! over host threads.
+//!
+//! # Execution model
+//!
+//! A simulated render decomposes into one *fragment* per simulated SM:
+//! the warps assigned to that SM (round-robin, as the raygen tile
+//! scheduler distributes them), simulated against that SM's private L1
+//! and its address-interleaved slice of the L2 ([`GpuConfig::sm_slice`]).
+//! Because a fragment never observes another SM's memory accesses, each
+//! one is a closed deterministic computation — so fragments can execute
+//! on any number of worker threads in any order and still produce the
+//! same per-SM cycle counts, statistics, and blend states.
+//!
+//! After the fan-out, per-fragment state is merged in fixed SM order
+//! (miden-style fragment replay): [`SimStats`] counters sum (peaks take
+//! the max), memory-traffic counters sum with the touched-line footprint
+//! unioned, per-warp `(compute, stall)` times land in one global vector
+//! that the [`WarpSchedule`] makespan model reduces, and blend states
+//! scatter back to their pixels. The result is **bit-identical** for
+//! `threads = 1` and `threads = N` — a property the test-suite enforces
+//! on images, cycles, and every counter.
+
+use crate::blend::BlendState;
+use crate::image::Image;
+use crate::renderer::{shader_cycles, RenderConfig, RenderReport, SecondaryBreakdown};
+use crate::tracer::{RayTracer, TraceParams};
+use grtx_bvh::AccelStruct;
+use grtx_math::Ray;
+use grtx_scene::{Camera, EffectObjects, GaussianScene};
+use grtx_sim::fasthash::FastMap;
+use grtx_sim::{GpuConfig, GpuSim, RayTraceState, WarpSchedule};
+use std::collections::VecDeque;
+
+/// One traced job: pixel index, ray, scene cut-off.
+struct Job {
+    pixel: usize,
+    ray: Ray,
+    t_cut: f32,
+}
+
+/// Everything one SM fragment produces; merged in SM order afterwards.
+struct SmOutcome {
+    /// The fragment's simulator (stats + memory counters).
+    sim: GpuSim,
+    /// `(global warp index, (compute, stall))` for this SM's warps.
+    warp_times: Vec<(usize, (u64, u64))>,
+    /// `(global job index, final blend state)` for this SM's rays.
+    blends: Vec<(usize, BlendState)>,
+}
+
+/// Whole-image renderer executing simulated SMs in parallel.
+///
+/// `threads = 0` (the default) uses every available core, capped at the
+/// simulated SM count. Any thread count produces bit-identical images,
+/// cycle totals, and statistics; threads only change wall-clock time.
+#[derive(Debug, Clone)]
+pub struct RenderEngine {
+    gpu: GpuConfig,
+    threads: usize,
+}
+
+impl RenderEngine {
+    /// Creates an engine for the given GPU configuration, using all
+    /// available cores.
+    pub fn new(gpu: GpuConfig) -> Self {
+        Self { gpu, threads: 0 }
+    }
+
+    /// Sets the worker-thread count (`0` = all available cores). The
+    /// count is capped at the simulated SM count, the unit of parallel
+    /// work.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The GPU configuration this engine simulates.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// Worker threads the next render will actually use.
+    pub fn effective_threads(&self) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.clamp(1, self.gpu.num_sms.max(1))
+    }
+
+    /// Renders a camera view through the simulated GPU.
+    ///
+    /// With `effects`, rays hitting the glass sphere / mirror spawn
+    /// secondary rays whose Gaussian traversal is simulated separately
+    /// (Fig. 23) and composited into the image.
+    pub fn render(
+        &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        camera: &Camera,
+        effects: Option<&EffectObjects>,
+        config: &RenderConfig,
+    ) -> RenderReport {
+        let warp_size = self.gpu.warp_size.max(1);
+        let num_sms = self.gpu.num_sms.max(1);
+
+        // Partition pixels into primary jobs (with effect cut-offs) and
+        // secondary jobs — serial and deterministic.
+        let mut primary_jobs: Vec<Job> = Vec::with_capacity(camera.pixel_count());
+        let mut secondary_jobs: Vec<Job> = Vec::new();
+        for (pixel, ray) in camera.rays() {
+            let mut t_cut = f32::INFINITY;
+            if let Some(objects) = effects {
+                if let Some(hit) = objects.intersect(&ray) {
+                    t_cut = hit.t();
+                    secondary_jobs.push(Job {
+                        pixel,
+                        ray: hit.secondary(),
+                        t_cut: f32::INFINITY,
+                    });
+                }
+            }
+            primary_jobs.push(Job { pixel, ray, t_cut });
+        }
+
+        let primary_warps = primary_jobs.len().div_ceil(warp_size);
+        let secondary_warps = secondary_jobs.len().div_ceil(warp_size);
+        let threads = self.effective_threads();
+        // Single source of the warp-to-SM policy: the same schedule that
+        // reduces warp times to a makespan decides which fragment
+        // simulates each warp.
+        let schedule = WarpSchedule::new(&self.gpu);
+
+        // Fan the SM fragments out over worker threads. SM `s` goes to
+        // worker `s % threads`; each fragment is self-contained, so the
+        // assignment only affects load balance, never results.
+        let mut outcomes: Vec<Option<SmOutcome>> = (0..num_sms).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let primary_jobs = &primary_jobs;
+            let secondary_jobs = &secondary_jobs;
+            let schedule = &schedule;
+            let handles: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        (worker..num_sms)
+                            .step_by(threads)
+                            .map(|sm| {
+                                (
+                                    sm,
+                                    self.run_sm_fragment(
+                                        sm,
+                                        schedule,
+                                        accel,
+                                        scene,
+                                        config,
+                                        primary_jobs,
+                                        secondary_jobs,
+                                        primary_warps,
+                                        secondary_warps,
+                                        warp_size,
+                                    ),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (sm, outcome) in handle.join().expect("render worker panicked") {
+                    outcomes[sm] = Some(outcome);
+                }
+            }
+        });
+
+        // Merge fragments in fixed SM order.
+        let mut all_warps = vec![(0u64, 0u64); primary_warps + secondary_warps];
+        let mut primary_blends = vec![BlendState::new(); primary_jobs.len()];
+        let mut secondary_blends = vec![BlendState::new(); secondary_jobs.len()];
+        let mut agg: Option<GpuSim> = None;
+        for outcome in outcomes
+            .into_iter()
+            .map(|o| o.expect("every SM fragment ran"))
+        {
+            for (warp, times) in &outcome.warp_times {
+                all_warps[*warp] = *times;
+            }
+            for (job, blend) in &outcome.blends {
+                if *job < primary_jobs.len() {
+                    primary_blends[*job] = *blend;
+                } else {
+                    secondary_blends[*job - primary_jobs.len()] = *blend;
+                }
+            }
+            match agg.as_mut() {
+                None => agg = Some(outcome.sim),
+                Some(acc) => acc.absorb(&outcome.sim),
+            }
+        }
+        let sim = agg.expect("at least one SM fragment");
+
+        // Compose the image.
+        let mut image = Image::new(camera.width, camera.height);
+        for (job, blend) in primary_jobs.iter().zip(&primary_blends) {
+            image.set_pixel(job.pixel, blend.over_background(config.background));
+        }
+        if !secondary_jobs.is_empty() {
+            // Pixel -> primary blend index (cameras may skip pixels, so
+            // the job index is not the pixel index).
+            let primary_of_pixel: FastMap<u64, usize> = primary_jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| (job.pixel as u64, i))
+                .collect();
+            for (job, blend) in secondary_jobs.iter().zip(&secondary_blends) {
+                // The primary path's remaining transmittance scales the
+                // reflected/refracted radiance.
+                let primary = primary_of_pixel
+                    .get(&(job.pixel as u64))
+                    .map(|&i| primary_blends[i])
+                    .expect("secondary jobs come from primary pixels");
+                let color = primary.color
+                    + blend.over_background(config.background) * primary.transmittance;
+                image.set_pixel(job.pixel, color);
+            }
+        }
+
+        let cycles = schedule.makespan(&all_warps);
+        let secondary = if secondary_jobs.is_empty() {
+            None
+        } else {
+            Some(SecondaryBreakdown {
+                primary_cycles: schedule.makespan(&all_warps[..primary_warps]),
+                secondary_cycles: schedule
+                    .makespan_from(primary_warps, &all_warps[primary_warps..]),
+                secondary_rays: secondary_jobs.len() as u64,
+            })
+        };
+
+        RenderReport {
+            time_ms: sim.cycles_to_ms(cycles),
+            cycles,
+            l1_hit_rate: sim.mem.l1_hit_rate(),
+            l2_accesses: sim.mem.l2_structure_accesses,
+            dram_accesses: sim.mem.dram_structure_accesses,
+            avg_fetch_latency: sim.stats.avg_fetch_latency(),
+            footprint_bytes: sim.mem.footprint_bytes(),
+            stats: sim.stats,
+            image,
+            secondary,
+        }
+    }
+
+    /// Simulates one SM fragment: its primary warps to completion, then
+    /// its secondary warps, against its own L1 + L2 slice.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sm_fragment(
+        &self,
+        sm: usize,
+        schedule: &WarpSchedule,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        config: &RenderConfig,
+        primary_jobs: &[Job],
+        secondary_jobs: &[Job],
+        primary_warps: usize,
+        secondary_warps: usize,
+        warp_size: usize,
+    ) -> SmOutcome {
+        let mut sim = GpuSim::sm_shard(&self.gpu);
+        let mut warp_times = Vec::new();
+        let mut blends = Vec::new();
+        // Secondary warps continue the round-robin where the primary
+        // warps left off. The two phases run back-to-back, preserving the
+        // seed renderer's ordering (all primaries retire before any
+        // secondary starts).
+        let phases: [(&[Job], usize, usize, usize); 2] = [
+            (primary_jobs, primary_warps, 0, 0),
+            (
+                secondary_jobs,
+                secondary_warps,
+                primary_warps,
+                primary_jobs.len(),
+            ),
+        ];
+        for (jobs, warp_count, warp_base, job_base) in phases {
+            let my_warps: Vec<usize> = (0..warp_count)
+                .filter(|w| schedule.sm_of_warp(warp_base + w) == sm)
+                .collect();
+            run_warp_queue(
+                &mut sim,
+                accel,
+                scene,
+                jobs,
+                config,
+                &my_warps,
+                warp_size,
+                |warp, times| warp_times.push((warp_base + warp, times)),
+                |job, blend| blends.push((job_base + job, blend)),
+            );
+        }
+        SmOutcome {
+            sim,
+            warp_times,
+            blends,
+        }
+    }
+}
+
+/// One resident warp being executed round-by-round.
+struct WarpExec<'a> {
+    tracers: Vec<RayTracer<'a>>,
+    states: Vec<RayTraceState>,
+    compute: u64,
+    stall: u64,
+    index: usize,
+}
+
+impl WarpExec<'_> {
+    fn is_done(&self) -> bool {
+        self.tracers.iter().all(RayTracer::is_done)
+    }
+}
+
+/// Executes one SM's warp queue exactly as the RT unit's warp buffer
+/// does: up to `warp_buffer_size` warps stay resident and advance one
+/// round at a time.
+///
+/// This interleaving is what gives the cache model realistic contention —
+/// running each warp to completion in isolation would overstate
+/// cross-round L1 locality and hide the redundant-traversal cost GRTX-HW
+/// removes.
+#[allow(clippy::too_many_arguments)]
+fn run_warp_queue<'a>(
+    sim: &mut GpuSim,
+    accel: &'a AccelStruct,
+    scene: &'a GaussianScene,
+    jobs: &'a [Job],
+    config: &RenderConfig,
+    warps: &[usize],
+    warp_size: usize,
+    mut on_warp_done: impl FnMut(usize, (u64, u64)),
+    mut on_blend: impl FnMut(usize, BlendState),
+) {
+    let round_overhead = sim.config.costs.round_overhead;
+    let buffer_depth = sim.config.warp_buffer_size.max(1);
+    let mut pending: VecDeque<usize> = warps.iter().copied().collect();
+    let mut resident: Vec<WarpExec<'a>> = Vec::new();
+
+    let make_exec = |w: usize| -> WarpExec<'a> {
+        let chunk = &jobs[w * warp_size..((w + 1) * warp_size).min(jobs.len())];
+        WarpExec {
+            tracers: chunk
+                .iter()
+                .map(|job| {
+                    let params = TraceParams {
+                        t_scene_max: job.t_cut,
+                        ..config.params
+                    };
+                    RayTracer::new(accel, scene, job.ray, params)
+                })
+                .collect(),
+            states: chunk.iter().map(|_| RayTraceState::new()).collect(),
+            compute: 0,
+            stall: 0,
+            index: w,
+        }
+    };
+
+    loop {
+        // Admit warps up to the buffer depth.
+        while resident.len() < buffer_depth {
+            let Some(w) = pending.pop_front() else { break };
+            resident.push(make_exec(w));
+        }
+        if resident.is_empty() {
+            break;
+        }
+        // Advance every resident warp by one round.
+        let mut finished: Vec<usize> = Vec::new();
+        for (slot, warp) in resident.iter_mut().enumerate() {
+            let mut round_compute = 0u64;
+            let mut round_stall = 0u64;
+            for (tracer, state) in warp.tracers.iter_mut().zip(warp.states.iter_mut()) {
+                if tracer.is_done() {
+                    continue;
+                }
+                let mut obs = sim.observer(0, state);
+                let report = tracer.round(&mut obs);
+                let shader = shader_cycles(&report, obs.costs(), config);
+                round_compute = round_compute.max(obs.compute_cycles + shader);
+                round_stall = round_stall.max(obs.stall_cycles);
+                sim.stats.rounds += 1;
+                sim.stats.blended_gaussians += report.blended as u64;
+                sim.stats.eviction_writes += report.eviction_writes;
+                sim.stats.peak_checkpoint_entries = sim
+                    .stats
+                    .peak_checkpoint_entries
+                    .max(tracer.peak_checkpoint_entries as u64);
+                sim.stats.peak_eviction_entries = sim
+                    .stats
+                    .peak_eviction_entries
+                    .max(tracer.peak_eviction_entries as u64);
+            }
+            warp.compute += round_compute + round_overhead;
+            warp.stall += round_stall;
+            if warp.is_done() {
+                finished.push(slot);
+            }
+        }
+        // Retire finished warps (back to front to keep indices valid).
+        for &slot in finished.iter().rev() {
+            let warp = resident.swap_remove(slot);
+            on_warp_done(warp.index, (warp.compute, warp.stall));
+            let base = warp.index * warp_size;
+            for (i, tracer) in warp.tracers.iter().enumerate() {
+                on_blend(base + i, *tracer.blend_state());
+            }
+            sim.stats.rays += warp.tracers.len() as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::TraceMode;
+    use grtx_bvh::{BoundingPrimitive, LayoutConfig};
+    use grtx_scene::{synth::generate_scene, CameraModel, SceneKind};
+
+    fn tiny_setup() -> (GaussianScene, AccelStruct, Camera) {
+        let scene = generate_scene(SceneKind::Train.profile().with_gaussian_budget(400), 7);
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
+        let camera = Camera::look_at(
+            24,
+            24,
+            CameraModel::Pinhole { fov_y: 0.9 },
+            SceneKind::Train.profile().camera_eye(),
+            grtx_math::Vec3::ZERO,
+            grtx_math::Vec3::Y,
+        );
+        (scene, accel, camera)
+    }
+
+    /// Shared immutable scene state must be shareable across workers.
+    #[test]
+    fn scene_and_accel_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelStruct>();
+        assert_send_sync::<GaussianScene>();
+        assert_send_sync::<GpuConfig>();
+        assert_send_sync::<Camera>();
+    }
+
+    #[test]
+    fn thread_counts_produce_bit_identical_reports() {
+        let (scene, accel, camera) = tiny_setup();
+        let config = RenderConfig {
+            params: TraceParams {
+                k: 6,
+                mode: TraceMode::MultiRoundCheckpoint,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let render = |threads: usize| {
+            RenderEngine::new(GpuConfig::default())
+                .with_threads(threads)
+                .render(&accel, &scene, &camera, None, &config)
+        };
+        let serial = render(1);
+        for threads in [2, 4, 8] {
+            let parallel = render(threads);
+            assert_eq!(
+                serial.image.pixels(),
+                parallel.image.pixels(),
+                "{threads} threads: image"
+            );
+            assert_eq!(serial.cycles, parallel.cycles, "{threads} threads: cycles");
+            assert_eq!(serial.stats, parallel.stats, "{threads} threads: stats");
+            assert_eq!(
+                serial.l2_accesses, parallel.l2_accesses,
+                "{threads} threads: L2"
+            );
+            assert_eq!(
+                serial.dram_accesses, parallel.dram_accesses,
+                "{threads} threads: DRAM"
+            );
+            assert_eq!(
+                serial.footprint_bytes, parallel.footprint_bytes,
+                "{threads} threads: footprint"
+            );
+            assert!((serial.l1_hit_rate - parallel.l1_hit_rate).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thread_counts_match_with_effects() {
+        let (scene, accel, camera) = tiny_setup();
+        let effects = EffectObjects::place_in(SceneKind::Train.profile().half_extent, 3);
+        let config = RenderConfig::default();
+        let render = |threads: usize| {
+            RenderEngine::new(GpuConfig::default())
+                .with_threads(threads)
+                .render(&accel, &scene, &camera, Some(&effects), &config)
+        };
+        let serial = render(1);
+        let parallel = render(4);
+        assert_eq!(serial.image.pixels(), parallel.image.pixels());
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.secondary, parallel.secondary);
+    }
+
+    #[test]
+    fn effective_threads_is_capped_by_sms() {
+        let engine = RenderEngine::new(GpuConfig::default()).with_threads(64);
+        assert_eq!(engine.effective_threads(), GpuConfig::default().num_sms);
+        let one = RenderEngine::new(GpuConfig::default()).with_threads(1);
+        assert_eq!(one.effective_threads(), 1);
+    }
+}

@@ -16,7 +16,11 @@ pub struct Image {
 impl Image {
     /// Creates a black image.
     pub fn new(width: u32, height: u32) -> Self {
-        Self { width, height, pixels: vec![Vec3::ZERO; (width * height) as usize] }
+        Self {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; (width * height) as usize],
+        }
     }
 
     /// Pixel accessor by linear index.
@@ -48,7 +52,11 @@ impl Image {
     ///
     /// Panics if dimensions differ.
     pub fn mse(&self, other: &Image) -> f64 {
-        assert_eq!((self.width, self.height), (other.width, other.height), "image size mismatch");
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "image size mismatch"
+        );
         if self.pixels.is_empty() {
             return 0.0;
         }

@@ -48,7 +48,10 @@ impl KBuffer {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k-buffer capacity must be positive");
-        Self { entries: Vec::with_capacity(k + 1), k }
+        Self {
+            entries: Vec::with_capacity(k + 1),
+            k,
+        }
     }
 
     /// Capacity `k`.
@@ -85,16 +88,17 @@ impl KBuffer {
     pub fn insert(&mut self, t: f32, id: u32) -> InsertOutcome {
         let key = (t, id);
         // Position by (t, id); scan length models insertion-sort work.
-        let pos = self
-            .entries
-            .partition_point(|&(et, eid)| (et, eid) < key);
+        let pos = self.entries.partition_point(|&(et, eid)| (et, eid) < key);
         let sort_steps = (self.entries.len() - pos) as u32 + 1;
         if self.entries.get(pos) == Some(&key) {
             return InsertOutcome::Duplicate;
         }
         if self.entries.len() < self.k {
             self.entries.insert(pos, key);
-            return InsertOutcome::Accepted { rejected: None, sort_steps };
+            return InsertOutcome::Accepted {
+                rejected: None,
+                sort_steps,
+            };
         }
         if pos == self.entries.len() {
             // Incoming is the farthest of k+1 candidates.
@@ -102,7 +106,10 @@ impl KBuffer {
         }
         self.entries.insert(pos, key);
         let rejected = self.entries.pop().expect("buffer was full");
-        InsertOutcome::Accepted { rejected: Some(rejected), sort_steps }
+        InsertOutcome::Accepted {
+            rejected: Some(rejected),
+            sort_steps,
+        }
     }
 
     /// Seeds entries (from the eviction buffer) before a round; input
@@ -121,7 +128,8 @@ impl KBuffer {
             self.k
         );
         self.entries.extend_from_slice(entries);
-        self.entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.entries
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         entries.len()
     }
 
@@ -150,7 +158,10 @@ mod tests {
         let mut b = KBuffer::new(4);
         for (i, t) in [3.0f32, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0].iter().enumerate() {
             b.insert(*t, i as u32);
-            assert!(b.entries().windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+            assert!(b
+                .entries()
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
         }
     }
 
@@ -172,7 +183,10 @@ mod tests {
         b.insert(1.0, 0);
         b.insert(3.0, 1);
         match b.insert(2.0, 2) {
-            InsertOutcome::Accepted { rejected: Some((t, id)), .. } => {
+            InsertOutcome::Accepted {
+                rejected: Some((t, id)),
+                ..
+            } => {
                 assert_eq!((t, id), (3.0, 1));
             }
             other => panic!("expected displacement, got {other:?}"),
@@ -203,7 +217,10 @@ mod tests {
         assert_eq!(b.entries(), &[(2.0, 0), (4.0, 1)]);
         b.insert(3.0, 2);
         assert!(b.is_full());
-        assert!(matches!(b.insert(9.0, 3), InsertOutcome::RejectedIncoming { .. }));
+        assert!(matches!(
+            b.insert(9.0, 3),
+            InsertOutcome::RejectedIncoming { .. }
+        ));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! as the Fig. 4a reference point.
 
 pub mod blend;
+pub mod engine;
 pub mod image;
 pub mod kbuffer;
 pub mod raster;
@@ -31,8 +32,9 @@ pub mod renderer;
 pub mod tracer;
 
 pub use blend::{BlendState, MIN_BLEND_ALPHA};
+pub use engine::RenderEngine;
 pub use image::Image;
 pub use kbuffer::{InsertOutcome, KBuffer};
-pub use raster::{RasterConfig, RasterReport, render_rasterized};
-pub use renderer::{RenderConfig, RenderReport, SecondaryBreakdown, render_simulated};
+pub use raster::{render_rasterized, RasterConfig, RasterReport};
+pub use renderer::{render_simulated, RenderConfig, RenderReport, SecondaryBreakdown};
 pub use tracer::{KBufferStorage, RayTracer, RoundReport, RoundStatus, TraceMode, TraceParams};

@@ -26,7 +26,11 @@ pub struct RasterConfig {
 
 impl Default for RasterConfig {
     fn default() -> Self {
-        Self { tile: 16, min_transmittance: 0.01, background: Vec3::ZERO }
+        Self {
+            tile: 16,
+            min_transmittance: 0.01,
+            background: Vec3::ZERO,
+        }
     }
 }
 
@@ -70,7 +74,9 @@ pub fn render_rasterized(
     gpu: &GpuConfig,
 ) -> RasterReport {
     let CameraModel::Pinhole { fov_y } = camera.model() else {
-        panic!("rasterization supports only pinhole cameras (use the ray tracer for distorted lenses)")
+        panic!(
+            "rasterization supports only pinhole cameras (use the ray tracer for distorted lenses)"
+        )
     };
     let (width, height) = (camera.width, camera.height);
     let focal = height as f32 / (2.0 * (fov_y * 0.5).tan());
@@ -92,7 +98,9 @@ pub fn render_rasterized(
 
         // EWA: Σ2D = J W Σ Wᵀ Jᵀ with the standard local-affine Jacobian.
         let m = g.covariance_factor();
-        let sigma_cam = w2c_flipped.mul_mat3(&m.mul_self_transpose()).mul_mat3(&w2c_flipped.transpose());
+        let sigma_cam = w2c_flipped
+            .mul_mat3(&m.mul_self_transpose())
+            .mul_mat3(&w2c_flipped.transpose());
         let (jx, jz) = (focal / q.z, -focal / (q.z * q.z));
         // Row vectors of J (2×3): [jx, 0, jz*q.x], [0, -jx, -jz*q.y].
         let j0 = Vec3::new(jx, 0.0, jz * q.x);
@@ -175,8 +183,8 @@ pub fn render_rasterized(
                         pairs_evaluated += 1;
                         let s = &splats[si as usize];
                         let (dx, dy) = (fx - s.u, fy - s.v);
-                        let power =
-                            -0.5 * (s.inv_a * dx * dx + 2.0 * s.inv_b * dx * dy + s.inv_c * dy * dy);
+                        let power = -0.5
+                            * (s.inv_a * dx * dx + 2.0 * s.inv_b * dx * dy + s.inv_c * dy * dy);
                         if power < -6.0 {
                             continue;
                         }
@@ -211,13 +219,19 @@ pub fn render_rasterized(
     let cycles = (work as f64 / parallelism).ceil() as u64;
     let time_ms = cycles as f64 / (gpu.clock_mhz * 1_000.0);
 
-    RasterReport { time_ms, cycles, image, splats: splats.len() as u64, pairs_evaluated }
+    RasterReport {
+        time_ms,
+        cycles,
+        image,
+        splats: splats.len() as u64,
+        pairs_evaluated,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grtx_scene::{Gaussian, SceneKind, synth::generate_scene};
+    use grtx_scene::{synth::generate_scene, Gaussian, SceneKind};
 
     fn camera(w: u32, h: u32) -> Camera {
         Camera::look_at(
@@ -232,12 +246,21 @@ mod tests {
 
     #[test]
     fn single_gaussian_lands_at_image_center() {
-        let scene: GaussianScene =
-            vec![Gaussian::isotropic(Vec3::ZERO, 0.4, 0.95, Vec3::new(1.0, 0.0, 0.0))]
-                .into_iter()
-                .collect();
+        let scene: GaussianScene = vec![Gaussian::isotropic(
+            Vec3::ZERO,
+            0.4,
+            0.95,
+            Vec3::new(1.0, 0.0, 0.0),
+        )]
+        .into_iter()
+        .collect();
         let cam = camera(64, 64);
-        let report = render_rasterized(&scene, &cam, &RasterConfig::default(), &GpuConfig::default());
+        let report = render_rasterized(
+            &scene,
+            &cam,
+            &RasterConfig::default(),
+            &GpuConfig::default(),
+        );
         let center = report.image.pixel((32 * 64 + 32) as usize);
         assert!(center.x > 0.5, "center pixel should be red, got {center}");
         let corner = report.image.pixel(0);
@@ -246,12 +269,21 @@ mod tests {
 
     #[test]
     fn gaussian_behind_camera_is_culled() {
-        let scene: GaussianScene =
-            vec![Gaussian::isotropic(Vec3::new(0.0, 0.0, 20.0), 0.4, 0.95, Vec3::ONE)]
-                .into_iter()
-                .collect();
+        let scene: GaussianScene = vec![Gaussian::isotropic(
+            Vec3::new(0.0, 0.0, 20.0),
+            0.4,
+            0.95,
+            Vec3::ONE,
+        )]
+        .into_iter()
+        .collect();
         let cam = camera(32, 32);
-        let report = render_rasterized(&scene, &cam, &RasterConfig::default(), &GpuConfig::default());
+        let report = render_rasterized(
+            &scene,
+            &cam,
+            &RasterConfig::default(),
+            &GpuConfig::default(),
+        );
         assert_eq!(report.splats, 0);
         assert_eq!(report.image.mean_luminance(), 0.0);
     }
@@ -271,8 +303,12 @@ mod tests {
             })
             .collect();
         let cam = camera(48, 48);
-        let raster =
-            render_rasterized(&scene, &cam, &RasterConfig::default(), &GpuConfig::default());
+        let raster = render_rasterized(
+            &scene,
+            &cam,
+            &RasterConfig::default(),
+            &GpuConfig::default(),
+        );
         let accel = grtx_bvh::AccelStruct::build(
             &scene,
             grtx_bvh::BoundingPrimitive::UnitSphere,
@@ -286,7 +322,10 @@ mod tests {
             &crate::renderer::RenderConfig::default(),
         );
         let psnr = raster.image.psnr(&rt);
-        assert!(psnr > 22.0, "raster and RT images diverge: PSNR = {psnr:.1} dB");
+        assert!(
+            psnr > 22.0,
+            "raster and RT images diverge: PSNR = {psnr:.1} dB"
+        );
     }
 
     #[test]
@@ -313,6 +352,11 @@ mod tests {
             Vec3::ZERO,
             Vec3::Y,
         );
-        let _ = render_rasterized(&scene, &cam, &RasterConfig::default(), &GpuConfig::default());
+        let _ = render_rasterized(
+            &scene,
+            &cam,
+            &RasterConfig::default(),
+            &GpuConfig::default(),
+        );
     }
 }

@@ -1,18 +1,25 @@
-//! The simulated whole-image renderer: SIMT warps on the `grtx-sim` GPU.
+//! Render configuration/report types and the simulated whole-image
+//! entry point.
 //!
 //! Rays are packed into 32-wide warps in row-major order (coherent
 //! primaries, as raygen launches do) and scheduled round-robin across
 //! SMs. Within a warp, rounds run in lockstep: the warp's round time is
 //! the slowest lane's time plus the per-round launch/sync overhead —
 //! this is the straggler effect that penalizes very small `k` (Fig. 18).
+//!
+//! Execution lives in [`crate::engine::RenderEngine`], which simulates
+//! each SM as an independent fragment and fans fragments out over host
+//! threads; [`render_simulated`] is the convenience wrapper running on
+//! all available cores (results are bit-identical at any thread count).
 
+use crate::engine::RenderEngine;
 use crate::image::Image;
 use crate::tracer::{RayTracer, RoundReport, TraceParams};
 use grtx_bvh::AccelStruct;
-use grtx_math::{Ray, Vec3};
+use grtx_math::Vec3;
 use grtx_scene::{Camera, EffectObjects, GaussianScene};
 use grtx_sim::config::CostModel;
-use grtx_sim::{GpuConfig, GpuSim, RayTraceState, SimStats, WarpSchedule};
+use grtx_sim::{GpuConfig, SimStats};
 
 /// Whole-render configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,14 +83,12 @@ pub struct RenderReport {
     pub secondary: Option<SecondaryBreakdown>,
 }
 
-/// One traced job: pixel index, ray, scene cut-off.
-struct Job {
-    pixel: usize,
-    ray: Ray,
-    t_cut: f32,
-}
-
-/// Renders a camera view through the simulated GPU.
+/// Renders a camera view through the simulated GPU on all available
+/// cores.
+///
+/// Convenience wrapper over [`RenderEngine`]; thread count never changes
+/// results, so callers that need an explicit count (or a guaranteed
+/// serial path) construct the engine directly.
 ///
 /// With `effects`, rays hitting the glass sphere / mirror spawn secondary
 /// rays whose Gaussian traversal is simulated separately (Fig. 23) and
@@ -96,219 +101,12 @@ pub fn render_simulated(
     config: &RenderConfig,
     gpu: GpuConfig,
 ) -> RenderReport {
-    let mut sim = GpuSim::new(gpu);
-    let schedule = WarpSchedule::new(&sim.config);
-    let warp_size = sim.config.warp_size;
-
-    // Partition pixels into primary jobs (with effect cut-offs) and
-    // secondary jobs.
-    let mut primary_jobs: Vec<Job> = Vec::with_capacity(camera.pixel_count());
-    let mut secondary_jobs: Vec<Job> = Vec::new();
-    for (pixel, ray) in camera.rays() {
-        let mut t_cut = f32::INFINITY;
-        if let Some(objects) = effects {
-            if let Some(hit) = objects.intersect(&ray) {
-                t_cut = hit.t();
-                secondary_jobs.push(Job { pixel, ray: hit.secondary(), t_cut: f32::INFINITY });
-            }
-        }
-        primary_jobs.push(Job { pixel, ray, t_cut });
-    }
-
-    let primary_results = run_warps(&mut sim, &schedule, accel, scene, &primary_jobs, config, 0, warp_size);
-    let primary_warp_count = primary_results.warp_times.len();
-    let secondary_results = run_warps(
-        &mut sim,
-        &schedule,
-        accel,
-        scene,
-        &secondary_jobs,
-        config,
-        primary_warp_count,
-        warp_size,
-    );
-
-    // Compose the image.
-    let mut image = Image::new(camera.width, camera.height);
-    for (job, blend) in primary_jobs.iter().zip(&primary_results.blends) {
-        image.set_pixel(job.pixel, blend.over_background(config.background));
-    }
-    for (job, blend) in secondary_jobs.iter().zip(&secondary_results.blends) {
-        // The primary path's remaining transmittance scales the
-        // reflected/refracted radiance.
-        let primary = primary_jobs
-            .iter()
-            .zip(&primary_results.blends)
-            .find(|(p, _)| p.pixel == job.pixel)
-            .map(|(_, b)| *b)
-            .expect("secondary jobs come from primary pixels");
-        let color =
-            primary.color + blend.over_background(config.background) * primary.transmittance;
-        image.set_pixel(job.pixel, color);
-    }
-
-    let mut all_warps = primary_results.warp_times.clone();
-    all_warps.extend(secondary_results.warp_times.iter().copied());
-    let cycles = schedule.makespan(&all_warps);
-    let secondary = if secondary_jobs.is_empty() {
-        None
-    } else {
-        Some(SecondaryBreakdown {
-            primary_cycles: schedule.makespan(&primary_results.warp_times),
-            secondary_cycles: schedule.makespan(&secondary_results.warp_times),
-            secondary_rays: secondary_jobs.len() as u64,
-        })
-    };
-
-    RenderReport {
-        time_ms: sim.cycles_to_ms(cycles),
-        cycles,
-        l1_hit_rate: sim.mem.l1_hit_rate(),
-        l2_accesses: sim.mem.l2_structure_accesses,
-        dram_accesses: sim.mem.dram_structure_accesses,
-        avg_fetch_latency: sim.stats.avg_fetch_latency(),
-        footprint_bytes: sim.mem.footprint_bytes(),
-        stats: sim.stats,
-        image,
-        secondary,
-    }
-}
-
-struct WarpResults {
-    warp_times: Vec<(u64, u64)>,
-    blends: Vec<crate::blend::BlendState>,
-}
-
-/// One resident warp being executed round-by-round.
-struct WarpExec<'a> {
-    tracers: Vec<RayTracer<'a>>,
-    states: Vec<RayTraceState>,
-    compute: u64,
-    stall: u64,
-    index: usize,
-}
-
-impl WarpExec<'_> {
-    fn is_done(&self) -> bool {
-        self.tracers.iter().all(RayTracer::is_done)
-    }
-}
-
-/// Traces a job list in SIMT warps; returns per-warp `(compute, stall)`
-/// cycles and per-job blend states.
-///
-/// Execution interleaves resident warps exactly as the RT unit's warp
-/// buffer does: each SM keeps up to `warp_buffer_size` warps in flight
-/// and advances them one round at a time. This interleaving is what
-/// gives the cache model realistic contention — running each warp to
-/// completion in isolation would overstate cross-round L1 locality and
-/// hide the redundant-traversal cost GRTX-HW removes.
-#[allow(clippy::too_many_arguments)]
-fn run_warps(
-    sim: &mut GpuSim,
-    schedule: &WarpSchedule,
-    accel: &AccelStruct,
-    scene: &GaussianScene,
-    jobs: &[Job],
-    config: &RenderConfig,
-    warp_id_base: usize,
-    warp_size: usize,
-) -> WarpResults {
-    let warp_count = jobs.len().div_ceil(warp_size.max(1));
-    let mut warp_times = vec![(0u64, 0u64); warp_count];
-    let mut blend_out = vec![crate::blend::BlendState::new(); jobs.len()];
-    let round_overhead = sim.config.costs.round_overhead;
-    let num_sms = sim.config.num_sms;
-    let buffer_depth = sim.config.warp_buffer_size;
-
-    // Per-SM pending warp queues (round-robin assignment).
-    let mut pending: Vec<std::collections::VecDeque<usize>> =
-        vec![std::collections::VecDeque::new(); num_sms];
-    for w in 0..warp_count {
-        pending[schedule.sm_of_warp(warp_id_base + w)].push_back(w);
-    }
-    let mut resident: Vec<Vec<WarpExec<'_>>> = (0..num_sms).map(|_| Vec::new()).collect();
-
-    let make_exec = |w: usize| -> WarpExec<'_> {
-        let chunk = &jobs[w * warp_size..((w + 1) * warp_size).min(jobs.len())];
-        WarpExec {
-            tracers: chunk
-                .iter()
-                .map(|job| {
-                    let params = TraceParams { t_scene_max: job.t_cut, ..config.params };
-                    RayTracer::new(accel, scene, job.ray, params)
-                })
-                .collect(),
-            states: chunk.iter().map(|_| RayTraceState::new()).collect(),
-            compute: 0,
-            stall: 0,
-            index: w,
-        }
-    };
-
-    loop {
-        let mut any_work = false;
-        for sm in 0..num_sms {
-            // Admit warps up to the buffer depth.
-            while resident[sm].len() < buffer_depth {
-                let Some(w) = pending[sm].pop_front() else { break };
-                resident[sm].push(make_exec(w));
-            }
-            // Advance every resident warp by one round.
-            let mut finished: Vec<usize> = Vec::new();
-            for (slot, warp) in resident[sm].iter_mut().enumerate() {
-                any_work = true;
-                let mut round_compute = 0u64;
-                let mut round_stall = 0u64;
-                for (tracer, state) in warp.tracers.iter_mut().zip(warp.states.iter_mut()) {
-                    if tracer.is_done() {
-                        continue;
-                    }
-                    let mut obs = sim.observer(sm, state);
-                    let report = tracer.round(&mut obs);
-                    let shader = shader_cycles(&report, obs.costs(), config);
-                    round_compute = round_compute.max(obs.compute_cycles + shader);
-                    round_stall = round_stall.max(obs.stall_cycles);
-                    sim.stats.rounds += 1;
-                    sim.stats.blended_gaussians += report.blended as u64;
-                    sim.stats.eviction_writes += report.eviction_writes;
-                    sim.stats.peak_checkpoint_entries = sim
-                        .stats
-                        .peak_checkpoint_entries
-                        .max(tracer.peak_checkpoint_entries as u64);
-                    sim.stats.peak_eviction_entries = sim
-                        .stats
-                        .peak_eviction_entries
-                        .max(tracer.peak_eviction_entries as u64);
-                }
-                warp.compute += round_compute + round_overhead;
-                warp.stall += round_stall;
-                if warp.is_done() {
-                    finished.push(slot);
-                }
-            }
-            // Retire finished warps (back to front to keep indices valid).
-            for &slot in finished.iter().rev() {
-                let warp = resident[sm].swap_remove(slot);
-                warp_times[warp.index] = (warp.compute, warp.stall);
-                let base = warp.index * warp_size;
-                for (i, tracer) in warp.tracers.iter().enumerate() {
-                    blend_out[base + i] = *tracer.blend_state();
-                }
-                sim.stats.rays += warp.tracers.len() as u64;
-            }
-        }
-        if !any_work {
-            break;
-        }
-    }
-
-    WarpResults { warp_times, blends: blend_out }
+    RenderEngine::new(gpu).render(accel, scene, camera, effects, config)
 }
 
 /// Shader-side cycles for one round per the cost model and isolation
 /// toggles.
-fn shader_cycles(report: &RoundReport, costs: &CostModel, config: &RenderConfig) -> u64 {
+pub(crate) fn shader_cycles(report: &RoundReport, costs: &CostModel, config: &RenderConfig) -> u64 {
     let mut cycles = 0u64;
     if config.charge_sorting {
         let steps = (report.sort_steps + report.deferred_sort_steps) as f64;
@@ -345,12 +143,16 @@ mod tests {
     use super::*;
     use crate::tracer::TraceMode;
     use grtx_bvh::{BoundingPrimitive, LayoutConfig};
-    use grtx_scene::{CameraModel, SceneKind, synth::generate_scene};
+    use grtx_scene::{synth::generate_scene, CameraModel, SceneKind};
 
     fn tiny_setup() -> (GaussianScene, AccelStruct, Camera) {
         let scene = generate_scene(SceneKind::Train.profile().with_gaussian_budget(400), 7);
-        let accel =
-            AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default());
+        let accel = AccelStruct::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        );
         let camera = Camera::look_at(
             24,
             24,
@@ -375,7 +177,10 @@ mod tests {
         );
         assert!(report.time_ms > 0.0);
         assert!(report.stats.node_fetches_total > 0);
-        assert!(report.image.mean_luminance() > 0.0, "image must not be black");
+        assert!(
+            report.image.mean_luminance() > 0.0,
+            "image must not be black"
+        );
         assert_eq!(report.stats.rays, 24 * 24);
         assert!(report.secondary.is_none());
     }
@@ -387,18 +192,30 @@ mod tests {
         let sim_img =
             render_simulated(&accel, &scene, &camera, None, &config, GpuConfig::default()).image;
         let fun_img = render_functional(&accel, &scene, &camera, &config);
-        assert_eq!(sim_img.psnr(&fun_img), f64::INFINITY, "cost model must not change pixels");
+        assert_eq!(
+            sim_img.psnr(&fun_img),
+            f64::INFINITY,
+            "cost model must not change pixels"
+        );
     }
 
     #[test]
     fn checkpoint_mode_is_faster_and_identical() {
         let (scene, accel, camera) = tiny_setup();
         let base = RenderConfig {
-            params: TraceParams { k: 8, mode: TraceMode::MultiRoundRestart, ..Default::default() },
+            params: TraceParams {
+                k: 8,
+                mode: TraceMode::MultiRoundRestart,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let ckpt = RenderConfig {
-            params: TraceParams { k: 8, mode: TraceMode::MultiRoundCheckpoint, ..Default::default() },
+            params: TraceParams {
+                k: 8,
+                mode: TraceMode::MultiRoundCheckpoint,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let r_base = render_simulated(&accel, &scene, &camera, None, &base, GpuConfig::default());
@@ -442,11 +259,20 @@ mod tests {
     fn disabling_cost_charges_reduces_time_not_image() {
         let (scene, accel, camera) = tiny_setup();
         let full = RenderConfig::default();
-        let traversal_only =
-            RenderConfig { charge_sorting: false, charge_blending: false, ..Default::default() };
+        let traversal_only = RenderConfig {
+            charge_sorting: false,
+            charge_blending: false,
+            ..Default::default()
+        };
         let r_full = render_simulated(&accel, &scene, &camera, None, &full, GpuConfig::default());
-        let r_trav =
-            render_simulated(&accel, &scene, &camera, None, &traversal_only, GpuConfig::default());
+        let r_trav = render_simulated(
+            &accel,
+            &scene,
+            &camera,
+            None,
+            &traversal_only,
+            GpuConfig::default(),
+        );
         assert!(r_trav.cycles <= r_full.cycles);
         assert_eq!(r_full.image.psnr(&r_trav.image), f64::INFINITY);
     }

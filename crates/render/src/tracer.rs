@@ -3,7 +3,7 @@
 
 use crate::blend::BlendState;
 use crate::kbuffer::{Entry, InsertOutcome, KBuffer};
-use grtx_bvh::{AccelStruct, AnyHitVerdict, CheckpointEntry, TraversalObserver, trace_round};
+use grtx_bvh::{trace_round, AccelStruct, AnyHitVerdict, CheckpointEntry, TraversalObserver};
 use grtx_math::Ray;
 use grtx_scene::GaussianScene;
 
@@ -138,7 +138,12 @@ pub struct RayTracer<'a> {
 
 impl<'a> RayTracer<'a> {
     /// Creates a tracer for one ray.
-    pub fn new(accel: &'a AccelStruct, scene: &'a GaussianScene, ray: Ray, params: TraceParams) -> Self {
+    pub fn new(
+        accel: &'a AccelStruct,
+        scene: &'a GaussianScene,
+        ray: Ray,
+        params: TraceParams,
+    ) -> Self {
         Self {
             accel,
             scene,
@@ -177,7 +182,10 @@ impl<'a> RayTracer<'a> {
     /// returning `Done` if the ray already finished.
     pub fn round(&mut self, observer: &mut dyn TraversalObserver) -> RoundReport {
         if self.done {
-            return RoundReport { status: Some(RoundStatus::Done), ..Default::default() };
+            return RoundReport {
+                status: Some(RoundStatus::Done),
+                ..Default::default()
+            };
         }
         self.rounds += 1;
         match self.params.mode {
@@ -206,7 +214,11 @@ impl<'a> RayTracer<'a> {
         all.dedup();
         let n = all.len() as u64;
         // Post-traversal sort: n log n comparison steps.
-        let deferred_sort_steps = if n > 1 { n * (64 - (n - 1).leading_zeros() as u64) } else { 0 };
+        let deferred_sort_steps = if n > 1 {
+            n * (64 - (n - 1).leading_zeros() as u64)
+        } else {
+            0
+        };
         let mut blended = 0;
         for (t, g) in all {
             if t > self.params.t_scene_max {
@@ -227,7 +239,11 @@ impl<'a> RayTracer<'a> {
         }
     }
 
-    fn multi_round(&mut self, observer: &mut dyn TraversalObserver, checkpointing: bool) -> RoundReport {
+    fn multi_round(
+        &mut self,
+        observer: &mut dyn TraversalObserver,
+        checkpointing: bool,
+    ) -> RoundReport {
         let k = self.params.k;
         let mut kbuf = KBuffer::new(k);
         let mut report = RoundReport::default();
@@ -260,10 +276,17 @@ impl<'a> RayTracer<'a> {
             &self.ray,
             self.t_min,
             replay,
-            if checkpointing { Some(&mut self.ckpt_dst) } else { None },
+            if checkpointing {
+                Some(&mut self.ckpt_dst)
+            } else {
+                None
+            },
             observer,
             &mut |g, t| match kbuf.insert(t, g) {
-                InsertOutcome::Accepted { rejected, sort_steps: s } => {
+                InsertOutcome::Accepted {
+                    rejected,
+                    sort_steps: s,
+                } => {
                     sort_steps += s as u64;
                     if let Some(e) = rejected {
                         if checkpointing {
@@ -315,7 +338,11 @@ impl<'a> RayTracer<'a> {
         if !self.done && self.rounds >= self.params.max_rounds {
             self.done = true;
         }
-        report.status = Some(if self.done { RoundStatus::Done } else { RoundStatus::Continue });
+        report.status = Some(if self.done {
+            RoundStatus::Done
+        } else {
+            RoundStatus::Continue
+        });
         report
     }
 
@@ -357,14 +384,23 @@ mod tests {
     }
 
     fn accel(scene: &GaussianScene) -> AccelStruct {
-        AccelStruct::build(scene, BoundingPrimitive::UnitSphere, true, &LayoutConfig::default())
+        AccelStruct::build(
+            scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &LayoutConfig::default(),
+        )
     }
 
     fn ray() -> Ray {
         Ray::new(Vec3::new(0.02, 0.01, -4.0), Vec3::Z)
     }
 
-    fn trace(scene: &GaussianScene, accel: &AccelStruct, params: TraceParams) -> (BlendState, Vec<Entry>) {
+    fn trace(
+        scene: &GaussianScene,
+        accel: &AccelStruct,
+        params: TraceParams,
+    ) -> (BlendState, Vec<Entry>) {
         let mut tracer = RayTracer::new(accel, scene, ray(), params);
         tracer.record_blends = true;
         let state = tracer.run_to_completion(&mut NullObserver);
@@ -375,13 +411,34 @@ mod tests {
     fn all_three_modes_blend_identically() {
         let scene = line_scene(30);
         let accel = accel(&scene);
-        let base = TraceParams { k: 4, ..Default::default() };
-        let (s_single, log_single) =
-            trace(&scene, &accel, TraceParams { mode: TraceMode::SingleRound, ..base });
-        let (s_restart, log_restart) =
-            trace(&scene, &accel, TraceParams { mode: TraceMode::MultiRoundRestart, ..base });
-        let (s_ckpt, log_ckpt) =
-            trace(&scene, &accel, TraceParams { mode: TraceMode::MultiRoundCheckpoint, ..base });
+        let base = TraceParams {
+            k: 4,
+            ..Default::default()
+        };
+        let (s_single, log_single) = trace(
+            &scene,
+            &accel,
+            TraceParams {
+                mode: TraceMode::SingleRound,
+                ..base
+            },
+        );
+        let (s_restart, log_restart) = trace(
+            &scene,
+            &accel,
+            TraceParams {
+                mode: TraceMode::MultiRoundRestart,
+                ..base
+            },
+        );
+        let (s_ckpt, log_ckpt) = trace(
+            &scene,
+            &accel,
+            TraceParams {
+                mode: TraceMode::MultiRoundCheckpoint,
+                ..base
+            },
+        );
 
         assert_eq!(log_single, log_restart, "single vs restart blend order");
         assert_eq!(log_restart, log_ckpt, "restart vs checkpoint blend order");
@@ -397,7 +454,11 @@ mod tests {
             &accel,
             &scene,
             ray(),
-            TraceParams { k: 4, mode: TraceMode::MultiRoundRestart, ..Default::default() },
+            TraceParams {
+                k: 4,
+                mode: TraceMode::MultiRoundRestart,
+                ..Default::default()
+            },
         );
         tracer.run_to_completion(&mut NullObserver);
         assert!(tracer.rounds() > 1, "30 hits with k=4 need several rounds");
@@ -406,14 +467,20 @@ mod tests {
     #[test]
     fn ert_stops_early_on_opaque_scene() {
         let scene: GaussianScene = (0..50)
-            .map(|i| Gaussian::isotropic(Vec3::new(0.0, 0.0, i as f32 * 1.5), 0.25, 0.95, Vec3::ONE))
+            .map(|i| {
+                Gaussian::isotropic(Vec3::new(0.0, 0.0, i as f32 * 1.5), 0.25, 0.95, Vec3::ONE)
+            })
             .collect();
         let accel = accel(&scene);
         let mut tracer = RayTracer::new(
             &accel,
             &scene,
             ray(),
-            TraceParams { k: 8, mode: TraceMode::MultiRoundRestart, ..Default::default() },
+            TraceParams {
+                k: 8,
+                mode: TraceMode::MultiRoundRestart,
+                ..Default::default()
+            },
         );
         tracer.record_blends = true;
         let state = tracer.run_to_completion(&mut NullObserver);
@@ -433,7 +500,11 @@ mod tests {
             &accel,
             &scene,
             ray(),
-            TraceParams { k: 4, mode: TraceMode::MultiRoundCheckpoint, ..Default::default() },
+            TraceParams {
+                k: 4,
+                mode: TraceMode::MultiRoundCheckpoint,
+                ..Default::default()
+            },
         );
         tracer.run_to_completion(&mut NullObserver);
         assert!(tracer.peak_checkpoint_entries > 0 || tracer.peak_eviction_entries > 0);
@@ -443,10 +514,21 @@ mod tests {
     fn t_scene_max_cuts_blending() {
         let scene = line_scene(30);
         let accel = accel(&scene);
-        let cut = TraceParams { k: 8, t_scene_max: 10.0, ..Default::default() };
+        let cut = TraceParams {
+            k: 8,
+            t_scene_max: 10.0,
+            ..Default::default()
+        };
         let (_, log) = trace(&scene, &accel, cut);
         assert!(log.iter().all(|&(t, _)| t <= 10.0));
-        let (_, full_log) = trace(&scene, &accel, TraceParams { k: 8, ..Default::default() });
+        let (_, full_log) = trace(
+            &scene,
+            &accel,
+            TraceParams {
+                k: 8,
+                ..Default::default()
+            },
+        );
         assert!(full_log.len() > log.len());
     }
 

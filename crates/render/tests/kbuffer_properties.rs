@@ -1,0 +1,105 @@
+//! Property tests for the any-hit k-buffer: for *any* insertion
+//! sequence, the buffer must end up holding exactly the `k` closest
+//! distinct hits in sorted order, and every hit must be accounted for —
+//! kept, rejected (evicted), or deduplicated — with no loss and no
+//! invention.
+
+use grtx_render::kbuffer::{Entry, InsertOutcome, KBuffer};
+use proptest::prelude::*;
+
+fn arb_hits(max_len: usize) -> impl Strategy<Value = Vec<Entry>> {
+    prop::collection::vec((0.0f32..100.0, 0u32..64), 1..max_len)
+}
+
+/// Lexicographic `(t, id)` order used by the buffer.
+fn sort_entries(entries: &mut [Entry]) {
+    entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The buffer retains exactly the k closest distinct entries,
+    /// regardless of arrival order.
+    #[test]
+    fn keeps_the_k_closest_distinct_entries(hits in arb_hits(120), k in 1usize..24) {
+        let mut buf = KBuffer::new(k);
+        for &(t, id) in &hits {
+            buf.insert(t, id);
+        }
+        let mut expected: Vec<Entry> = hits.clone();
+        sort_entries(&mut expected);
+        expected.dedup();
+        expected.truncate(k);
+        prop_assert_eq!(buf.entries(), expected.as_slice());
+    }
+
+    /// Entries are sorted after every single insertion (the invariant the
+    /// insertion-sort cost model charges for).
+    #[test]
+    fn stays_sorted_after_every_insert(hits in arb_hits(60), k in 1usize..16) {
+        let mut buf = KBuffer::new(k);
+        for &(t, id) in &hits {
+            buf.insert(t, id);
+            prop_assert!(
+                buf.entries().windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+                "buffer out of order after inserting ({}, {})", t, id
+            );
+            prop_assert!(buf.len() <= k);
+        }
+    }
+
+    /// Conservation: every distinct inserted entry is either still in the
+    /// buffer or was handed back as a rejection — the property GRTX-HW's
+    /// eviction buffer depends on (rejects are recycled, never lost).
+    #[test]
+    fn every_hit_is_kept_or_evicted(hits in arb_hits(120), k in 1usize..24) {
+        let mut buf = KBuffer::new(k);
+        let mut evicted: Vec<Entry> = Vec::new();
+        let mut duplicates = 0usize;
+        for &(t, id) in &hits {
+            match buf.insert(t, id) {
+                InsertOutcome::Accepted { rejected, .. } => evicted.extend(rejected),
+                InsertOutcome::RejectedIncoming { .. } => evicted.push((t, id)),
+                InsertOutcome::Duplicate => duplicates += 1,
+            }
+        }
+        let mut reunion: Vec<Entry> = buf.entries().to_vec();
+        reunion.extend_from_slice(&evicted);
+        sort_entries(&mut reunion);
+        let mut expected = hits.clone();
+        sort_entries(&mut expected);
+        expected.dedup();
+        prop_assert_eq!(reunion.len() + duplicates, hits.len(), "no entry may vanish or duplicate");
+        let mut distinct = reunion.clone();
+        distinct.dedup();
+        prop_assert_eq!(distinct, expected, "kept + evicted must equal the distinct input set");
+    }
+
+    /// Seeding evicted entries then inserting fresh hits is equivalent to
+    /// inserting everything — the moveEvictToKBuf step of Listing 1 must
+    /// not change what survives.
+    #[test]
+    fn seeding_is_equivalent_to_inserting(
+        seeds in arb_hits(12),
+        hits in arb_hits(60),
+        k in 12usize..24,
+    ) {
+        let mut seed_entries: Vec<Entry> = seeds.clone();
+        sort_entries(&mut seed_entries);
+        seed_entries.dedup();
+        seed_entries.truncate(k);
+
+        let mut seeded = KBuffer::new(k);
+        seeded.seed(&seed_entries);
+        for &(t, id) in &hits {
+            seeded.insert(t, id);
+        }
+
+        let mut inserted = KBuffer::new(k);
+        for &(t, id) in seed_entries.iter().chain(hits.iter()) {
+            inserted.insert(t, id);
+        }
+        prop_assert_eq!(seeded.entries(), inserted.entries());
+    }
+}

@@ -185,7 +185,10 @@ mod tests {
     #[test]
     fn fisheye_drops_corner_pixels() {
         let cam = test_camera(CameraModel::Fisheye { max_theta: 1.5 });
-        assert!(cam.primary_ray(0, 0).is_none(), "corner outside image circle");
+        assert!(
+            cam.primary_ray(0, 0).is_none(),
+            "corner outside image circle"
+        );
         assert!(cam.primary_ray(32, 24).is_some(), "center inside");
         assert!(cam.rays().count() < cam.pixel_count());
     }

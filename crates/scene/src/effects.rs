@@ -108,7 +108,11 @@ impl EffectObjects {
         let edge_v = Vec3::new(0.0, 1.0, 0.0) * h;
         Self {
             glass,
-            mirror: MirrorQuad { corner, edge_u, edge_v },
+            mirror: MirrorQuad {
+                corner,
+                edge_u,
+                edge_v,
+            },
         }
     }
 
@@ -121,16 +125,27 @@ impl EffectObjects {
                 let p = ray.at(h.t_enter);
                 let n = (p - self.glass.center).normalized();
                 let secondary = refract_or_reflect(ray.direction, n, 1.0 / GLASS_IOR, p);
-                EffectHit::Glass { t: h.t_enter, secondary }
+                EffectHit::Glass {
+                    t: h.t_enter,
+                    secondary,
+                }
             });
-        let mirror_hit = ray_quad(ray, self.mirror.corner, self.mirror.edge_u, self.mirror.edge_v)
-            .filter(|&t| t > 1e-4)
-            .map(|t| {
-                let p = ray.at(t);
-                let n = self.mirror.edge_u.cross(self.mirror.edge_v).normalized();
-                let d = reflect(ray.direction, n);
-                EffectHit::Mirror { t, secondary: Ray::new(p + d * 1e-3, d) }
-            });
+        let mirror_hit = ray_quad(
+            ray,
+            self.mirror.corner,
+            self.mirror.edge_u,
+            self.mirror.edge_v,
+        )
+        .filter(|&t| t > 1e-4)
+        .map(|t| {
+            let p = ray.at(t);
+            let n = self.mirror.edge_u.cross(self.mirror.edge_v).normalized();
+            let d = reflect(ray.direction, n);
+            EffectHit::Mirror {
+                t,
+                secondary: Ray::new(p + d * 1e-3, d),
+            }
+        });
         match (glass_hit, mirror_hit) {
             (Some(g), Some(m)) => Some(if g.t() <= m.t() { g } else { m }),
             (hit, None) | (None, hit) => hit,
@@ -180,7 +195,10 @@ mod tests {
     #[test]
     fn mirror_hit_produces_reflected_secondary() {
         let objects = EffectObjects {
-            glass: GlassSphere { center: Vec3::new(100.0, 0.0, 0.0), radius: 0.1 },
+            glass: GlassSphere {
+                center: Vec3::new(100.0, 0.0, 0.0),
+                radius: 0.1,
+            },
             mirror: MirrorQuad {
                 corner: Vec3::new(-1.0, -1.0, 0.0),
                 edge_u: Vec3::new(2.0, 0.0, 0.0),
@@ -201,7 +219,10 @@ mod tests {
     #[test]
     fn glass_hit_bends_ray_towards_normal() {
         let objects = EffectObjects {
-            glass: GlassSphere { center: Vec3::ZERO, radius: 1.0 },
+            glass: GlassSphere {
+                center: Vec3::ZERO,
+                radius: 1.0,
+            },
             mirror: MirrorQuad {
                 corner: Vec3::new(100.0, 0.0, 0.0),
                 edge_u: Vec3::X,
@@ -223,7 +244,10 @@ mod tests {
     #[test]
     fn nearest_object_wins() {
         let objects = EffectObjects {
-            glass: GlassSphere { center: Vec3::new(0.0, 0.0, 2.0), radius: 0.5 },
+            glass: GlassSphere {
+                center: Vec3::new(0.0, 0.0, 2.0),
+                radius: 0.5,
+            },
             mirror: MirrorQuad {
                 corner: Vec3::new(-1.0, -1.0, 5.0),
                 edge_u: Vec3::new(2.0, 0.0, 0.0),

@@ -41,7 +41,9 @@ impl Gaussian {
 
     /// The covariance factor `M = R · diag(σ)`, so `Σ = M Mᵀ`.
     pub fn covariance_factor(&self) -> Mat3 {
-        self.rotation.to_mat3().mul_mat3(&Mat3::from_diagonal(self.scale))
+        self.rotation
+            .to_mat3()
+            .mul_mat3(&Mat3::from_diagonal(self.scale))
     }
 
     /// World-to-canonical map `M⁻¹ = diag(1/σ) · Rᵀ`: maps the 1σ
@@ -149,7 +151,10 @@ impl GaussianScene {
     /// Creates a scene with an explicit bounding radius multiplier.
     pub fn with_sigma_bound(gaussians: Vec<Gaussian>, sigma_bound: f32) -> Self {
         let gaussians = gaussians.into_iter().filter(Gaussian::is_valid).collect();
-        Self { gaussians, sigma_bound }
+        Self {
+            gaussians,
+            sigma_bound,
+        }
     }
 
     /// Number of Gaussians.
@@ -236,11 +241,17 @@ mod tests {
     #[test]
     fn response_is_max_at_t_alpha() {
         let g = test_gaussian();
-        let ray = Ray::new(Vec3::new(-3.0, 0.0, 0.0), Vec3::new(0.9, 0.4, 0.6).normalized());
+        let ray = Ray::new(
+            Vec3::new(-3.0, 0.0, 0.0),
+            Vec3::new(0.9, 0.4, 0.6).normalized(),
+        );
         let t = g.t_alpha(&ray);
         let peak = g.response_at(&ray, t);
         for dt in [-0.5, -0.1, 0.1, 0.5] {
-            assert!(peak >= g.response_at(&ray, t + dt), "peak not maximal at dt={dt}");
+            assert!(
+                peak >= g.response_at(&ray, t + dt),
+                "peak not maximal at dt={dt}"
+            );
         }
     }
 
@@ -318,7 +329,10 @@ mod tests {
         // Cross-check the canonical-space evaluation against the paper's
         // direct formula with Σ⁻¹.
         let g = test_gaussian();
-        let ray = Ray::new(Vec3::new(-2.0, 1.0, 0.5), Vec3::new(0.5, 0.1, 0.85).normalized());
+        let ray = Ray::new(
+            Vec3::new(-2.0, 1.0, 0.5),
+            Vec3::new(0.5, 0.1, 0.85).normalized(),
+        );
         let m = g.covariance_factor();
         let sigma = m.mul_self_transpose();
         let sigma_inv = sigma.inverse().expect("invertible");

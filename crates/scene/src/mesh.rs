@@ -92,7 +92,10 @@ impl TemplateMesh {
         let insphere = n.dot(v[0]).abs();
         let scale = 1.0 / insphere;
         let vertices = raw.into_iter().map(|p| p * scale).collect();
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 
     /// An 80-triangle icosphere (one subdivision of the icosahedron),
@@ -136,7 +139,10 @@ impl TemplateMesh {
         }
         let scale = 1.0 / insphere;
         let vertices = vertices.into_iter().map(|p| p * scale).collect();
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 
     /// Instantiates the template for one Gaussian: applies the instance
@@ -206,7 +212,10 @@ mod tests {
             ) * 0.99;
             let origin = Vec3::new(7.0, -4.0, 3.0);
             let ray = Ray::new(origin, (target - origin).normalized());
-            assert!(mesh_hit(&m, &ray).is_some(), "proxy misses sphere point {target}");
+            assert!(
+                mesh_hit(&m, &ray).is_some(),
+                "proxy misses sphere point {target}"
+            );
         }
     }
 
@@ -214,13 +223,11 @@ mod tests {
     fn icosphere_is_tighter_than_icosahedron() {
         let ico = TemplateMesh::icosahedron();
         let sphere80 = TemplateMesh::icosphere_80();
-        let max_r = |m: &TemplateMesh| {
-            m.vertices
-                .iter()
-                .map(|v| v.length())
-                .fold(0.0f32, f32::max)
-        };
-        assert!(max_r(&sphere80) < max_r(&ico), "80-tri proxy should hug the sphere tighter");
+        let max_r = |m: &TemplateMesh| m.vertices.iter().map(|v| v.length()).fold(0.0f32, f32::max);
+        assert!(
+            max_r(&sphere80) < max_r(&ico),
+            "80-tri proxy should hug the sphere tighter"
+        );
     }
 
     #[test]
@@ -233,7 +240,8 @@ mod tests {
         )
         .unwrap();
         let s = m.stretched(&inst);
-        let centroid: Vec3 = s.vertices.iter().fold(Vec3::ZERO, |acc, &v| acc + v) / s.vertices.len() as f32;
+        let centroid: Vec3 =
+            s.vertices.iter().fold(Vec3::ZERO, |acc, &v| acc + v) / s.vertices.len() as f32;
         assert!((centroid - Vec3::new(10.0, 0.0, 0.0)).length() < 1e-3);
     }
 

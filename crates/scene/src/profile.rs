@@ -282,7 +282,10 @@ mod tests {
     fn default_budget_is_scaled_down() {
         for kind in SceneKind::ALL {
             let p = kind.profile();
-            assert_eq!(p.gaussian_budget, p.full_gaussian_count / DEFAULT_SCALE_DIVISOR);
+            assert_eq!(
+                p.gaussian_budget,
+                p.full_gaussian_count / DEFAULT_SCALE_DIVISOR
+            );
         }
     }
 
@@ -300,7 +303,12 @@ mod tests {
     fn deep_blending_scenes_have_most_large_gaussians() {
         let dj = SceneKind::Drjohnson.profile().large_fraction;
         let pr = SceneKind::Playroom.profile().large_fraction;
-        for kind in [SceneKind::Train, SceneKind::Truck, SceneKind::Bonsai, SceneKind::Room] {
+        for kind in [
+            SceneKind::Train,
+            SceneKind::Truck,
+            SceneKind::Bonsai,
+            SceneKind::Room,
+        ] {
             assert!(dj > kind.profile().large_fraction);
             assert!(pr > kind.profile().large_fraction);
         }

@@ -15,7 +15,13 @@ pub const MAX_COEFFS: usize = 16;
 /// constants in the 3DGS reference CUDA kernels.
 const SH_C0: f32 = 0.282_094_79;
 const SH_C1: f32 = 0.488_602_51;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,

@@ -2,7 +2,10 @@ use grtx_scene::TemplateMesh;
 
 #[test]
 fn template_meshes_wind_ccw_outward() {
-    for (name, m) in [("ico", TemplateMesh::icosahedron()), ("80", TemplateMesh::icosphere_80())] {
+    for (name, m) in [
+        ("ico", TemplateMesh::icosahedron()),
+        ("80", TemplateMesh::icosphere_80()),
+    ] {
         for i in 0..m.triangle_count() {
             let [a, b, c] = m.triangle_vertices(i);
             let n = (b - a).cross(c - a);

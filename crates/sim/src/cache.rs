@@ -23,7 +23,14 @@ struct CacheSet {
 
 impl CacheSet {
     fn new() -> Self {
-        Self { map: FastMap::default(), lines: Vec::new(), prev: Vec::new(), next: Vec::new(), head: NIL, tail: NIL }
+        Self {
+            map: FastMap::default(),
+            lines: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     fn unlink(&mut self, slot: u16) {
@@ -54,7 +61,9 @@ impl CacheSet {
 
     /// Touch a resident line; returns `true` on hit.
     fn touch(&mut self, line: u64) -> bool {
-        let Some(&slot) = self.map.get(&line) else { return false };
+        let Some(&slot) = self.map.get(&line) else {
+            return false;
+        };
         if self.head != slot {
             self.unlink(slot);
             self.push_front(slot);
@@ -107,13 +116,20 @@ impl Cache {
     /// Panics if `line_bytes` is not a power of two or capacity is
     /// smaller than one line.
     pub fn new(capacity_bytes: usize, line_bytes: usize, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(capacity_bytes >= line_bytes, "cache smaller than a line");
         let num_lines = capacity_bytes / line_bytes;
         let ways = ways.min(num_lines).max(1);
         let num_sets = (num_lines / ways).next_power_of_two().max(1);
         // Rounding up set count would overshoot capacity; round down.
-        let num_sets = if num_sets * ways > num_lines { num_sets / 2 } else { num_sets };
+        let num_sets = if num_sets * ways > num_lines {
+            num_sets / 2
+        } else {
+            num_sets
+        };
         let num_sets = num_sets.max(1);
         Self {
             sets: vec![CacheSet::new(); num_sets],
@@ -162,7 +178,9 @@ impl Cache {
     /// change).
     pub fn contains(&self, addr: u64) -> bool {
         let line = self.line_of(addr);
-        self.sets[(line & self.set_mask) as usize].map.contains_key(&line)
+        self.sets[(line & self.set_mask) as usize]
+            .map
+            .contains_key(&line)
     }
 
     /// Hit rate over all accesses so far (0 when never accessed).
@@ -238,7 +256,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = Cache::new(1024, 128, 8); // 8 lines
-        // Stream 64 distinct lines twice: second pass must still miss.
+                                              // Stream 64 distinct lines twice: second pass must still miss.
         for round in 0..2 {
             for i in 0..64u64 {
                 let hit = c.access(i * 128);

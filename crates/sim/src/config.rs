@@ -71,7 +71,10 @@ impl GpuConfig {
     /// "Cross-Vendor Applicability"), adding per-fetch instruction
     /// overhead.
     pub fn amd_like() -> Self {
-        Self { shader_issued_fetch_overhead: 24, ..Self::default() }
+        Self {
+            shader_issued_fetch_overhead: 24,
+            ..Self::default()
+        }
     }
 
     /// Scales cache capacities down by the scene-scale divisor.
@@ -97,6 +100,31 @@ impl GpuConfig {
     /// aggregate warp-buffer capacity).
     pub fn resident_warps(&self) -> usize {
         self.num_sms * self.warp_buffer_size
+    }
+
+    /// The configuration of one SM's *shard* of the GPU: a single SM
+    /// with its private L1 over a **private** `1/num_sms`-capacity L2.
+    ///
+    /// This is a deliberate modeling tradeoff, not a claim about real
+    /// hardware (real address-interleaved L2 slices are shared by every
+    /// SM). Privatizing the slice removes cross-SM L2 reuse — an SM no
+    /// longer inherits lines a neighbor fetched — so multi-SM L2/DRAM
+    /// traffic runs somewhat higher than a shared-L2 model would report.
+    /// In exchange, a shard never observes another SM's accesses, making
+    /// per-SM simulation order-independent: the property that lets
+    /// [`grtx_render`-style engines](crate) fan SMs out across host
+    /// threads with bit-identical cycle counts at any thread count.
+    /// For this workload (every SM streams the same BVH) the capacity
+    /// ratio per SM is preserved, and the paper's qualitative memory
+    /// phenomena (Figs. 15–17 trends) survive — the integration suite
+    /// asserts them. Restoring shared-slice semantics deterministically
+    /// (address-owned slices with cross-worker replay) is on the
+    /// roadmap.
+    pub fn sm_slice(&self) -> GpuConfig {
+        let mut slice = self.clone();
+        slice.num_sms = 1;
+        slice.l2_bytes = (self.l2_bytes / self.num_sms.max(1)).max(self.line_bytes * 8);
+        slice
     }
 }
 

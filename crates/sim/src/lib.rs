@@ -34,15 +34,15 @@
 //! modeling pipelines at RTL granularity.
 
 pub mod cache;
-pub mod fasthash;
 pub mod config;
+pub mod fasthash;
 pub mod mem;
 pub mod observer;
 pub mod schedule;
 pub mod stats;
 
 pub use cache::Cache;
-pub use config::{CostModel, GpuConfig, checkpoint_hw_cost_bytes};
+pub use config::{checkpoint_hw_cost_bytes, CostModel, GpuConfig};
 pub use mem::{AccessClass, MemorySystem};
 pub use observer::{RayTraceState, SimObserver};
 pub use schedule::WarpSchedule;
@@ -65,7 +65,28 @@ impl GpuSim {
     /// Creates a simulator for the given configuration.
     pub fn new(config: GpuConfig) -> Self {
         let mem = MemorySystem::new(&config);
-        Self { config, mem, stats: SimStats::default() }
+        Self {
+            config,
+            mem,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Creates the simulator for one SM's shard of this configuration
+    /// (see [`GpuConfig::sm_slice`]): a private L1 over an L2 slice.
+    pub fn sm_shard(config: &GpuConfig) -> Self {
+        Self::new(config.sm_slice())
+    }
+
+    /// Merges another shard's statistics and memory-traffic counters
+    /// into this simulator (cache contents are not merged).
+    ///
+    /// Folding every shard of a render into one `GpuSim` — in any order —
+    /// yields the same totals, which is what makes the parallel render
+    /// engine's reports independent of thread count.
+    pub fn absorb(&mut self, other: &GpuSim) {
+        self.stats.merge(&other.stats);
+        self.mem.absorb_counters(&other.mem);
     }
 
     /// Converts accumulated cycles into milliseconds at the configured

@@ -130,6 +130,49 @@ impl MemorySystem {
         }
     }
 
+    /// Merges another shard's traffic counters into this hierarchy.
+    ///
+    /// Cache *contents* are left untouched (they are per-shard state with
+    /// no meaningful union); only the statistics the reports read are
+    /// combined: traffic counters sum, and the touched-line footprint is
+    /// unioned so lines fetched by several SMs count once, exactly as
+    /// they did when one `MemorySystem` served every SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two hierarchies have different line sizes.
+    pub fn absorb_counters(&mut self, other: &MemorySystem) {
+        // Exhaustive destructuring (no `..`): a new counter field must be
+        // added here deliberately or the build breaks — cache state and
+        // latency parameters are the only fields legitimately ignored.
+        let MemorySystem {
+            l1: _,
+            l2: _,
+            line_bytes,
+            l1_latency: _,
+            l2_latency: _,
+            dram_latency: _,
+            sibling_prefetch: _,
+            touched_lines,
+            l2_structure_accesses,
+            l2_structure_hits,
+            dram_structure_accesses,
+            l1_structure_accesses,
+            l1_structure_hits,
+            prefetch_installs,
+        } = other;
+        assert_eq!(self.line_bytes, *line_bytes, "mismatched cache line size");
+        for &line in touched_lines {
+            self.touched_lines.insert(line);
+        }
+        self.l2_structure_accesses += l2_structure_accesses;
+        self.l2_structure_hits += l2_structure_hits;
+        self.dram_structure_accesses += dram_structure_accesses;
+        self.l1_structure_accesses += l1_structure_accesses;
+        self.l1_structure_hits += l1_structure_hits;
+        self.prefetch_installs += prefetch_installs;
+    }
+
     /// L1 hit rate over structure fetches (Fig. 16).
     pub fn l1_hit_rate(&self) -> f64 {
         if self.l1_structure_accesses == 0 {
@@ -202,7 +245,10 @@ mod tests {
 
     #[test]
     fn prefetch_disabled_is_noop() {
-        let cfg = GpuConfig { sibling_prefetch: false, ..tiny_config() };
+        let cfg = GpuConfig {
+            sibling_prefetch: false,
+            ..tiny_config()
+        };
         let mut m = MemorySystem::new(&cfg);
         m.prefetch(0, 0x2000, 128);
         let lat = m.access(0, 0x2000, 8, AccessClass::Structure);

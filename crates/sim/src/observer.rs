@@ -2,11 +2,11 @@
 //! [`TraversalObserver`] that charges cycles for every event.
 
 use crate::config::CostModel;
+use crate::fasthash::FastSet;
 use crate::mem::{AccessClass, MemorySystem};
 use crate::stats::SimStats;
 use crate::GpuSim;
 use grtx_bvh::{FetchKind, PrimTestKind, TraversalObserver};
-use crate::fasthash::FastSet;
 
 /// Per-ray state that persists across tracing rounds (used to separate
 /// unique from redundant node visits, Fig. 7).
@@ -94,7 +94,9 @@ impl SimObserver<'_> {
 
 impl TraversalObserver for SimObserver<'_> {
     fn node_fetch(&mut self, addr: u64, bytes: u64, kind: FetchKind) {
-        let latency = self.mem.access(self.sm, addr, bytes, AccessClass::Structure);
+        let latency = self
+            .mem
+            .access(self.sm, addr, bytes, AccessClass::Structure);
         let first = self.ray.visited.insert(addr);
         self.stats.record_fetch(kind, first, latency);
         self.stall_cycles += latency;
@@ -192,8 +194,10 @@ mod tests {
         let mut sim = GpuSim::new(GpuConfig::default());
         let mut ray_a = RayTraceState::new();
         let mut ray_b = RayTraceState::new();
-        sim.observer(0, &mut ray_a).node_fetch(0x1000, 224, FetchKind::TlasNode);
-        sim.observer(0, &mut ray_b).node_fetch(0x1000, 224, FetchKind::TlasNode);
+        sim.observer(0, &mut ray_a)
+            .node_fetch(0x1000, 224, FetchKind::TlasNode);
+        sim.observer(0, &mut ray_b)
+            .node_fetch(0x1000, 224, FetchKind::TlasNode);
         assert_eq!(sim.stats.node_fetches_unique, 2, "uniqueness is per ray");
     }
 

@@ -39,6 +39,15 @@ impl WarpSchedule {
     /// Converts per-warp `(compute, stall)` cycle pairs into total render
     /// cycles (the slowest SM).
     pub fn makespan(&self, warp_cycles: &[(u64, u64)]) -> u64 {
+        self.makespan_from(0, warp_cycles)
+    }
+
+    /// Like [`makespan`](Self::makespan) for a slice of warps whose
+    /// global indices start at `warp_base` — so a sub-range of a launch
+    /// (e.g. the secondary-ray warps, which continue the round-robin
+    /// where the primary warps left off) is grouped onto the same SMs it
+    /// was simulated on.
+    pub fn makespan_from(&self, warp_base: usize, warp_cycles: &[(u64, u64)]) -> u64 {
         if warp_cycles.is_empty() {
             return 0;
         }
@@ -46,7 +55,7 @@ impl WarpSchedule {
         let mut sm_stall = vec![0u64; self.num_sms];
         let mut sm_warps = vec![0usize; self.num_sms];
         for (w, &(compute, stall)) in warp_cycles.iter().enumerate() {
-            let sm = self.sm_of_warp(w);
+            let sm = self.sm_of_warp(warp_base + w);
             sm_compute[sm] += compute;
             sm_stall[sm] += stall;
             sm_warps[sm] += 1;
@@ -85,6 +94,20 @@ mod tests {
         let s = schedule();
         assert_eq!(s.makespan(&[(1000, 0)]), 1000);
         assert_eq!(s.makespan(&[(0, 1000)]), 1000);
+    }
+
+    #[test]
+    fn makespan_from_matches_global_grouping() {
+        let s = schedule();
+        let mut warps: Vec<(u64, u64)> = (0..20).map(|_| (100, 50)).collect();
+        warps[9] = (50_000, 0);
+        warps[17] = (40_000, 0);
+        // Warps 9 and 17 share an SM class in any uniform round-robin,
+        // shifted or not — `makespan_from` documents the global indexing
+        // and stays correct if the policy ever becomes non-uniform.
+        assert_eq!(s.makespan_from(9, &warps[9..]), s.makespan(&warps[9..]));
+        assert!(s.makespan_from(9, &warps[9..]) >= 90_000);
+        assert!(s.makespan_from(9, &warps[9..]) <= s.makespan(&warps));
     }
 
     #[test]

@@ -70,6 +70,59 @@ impl SimStats {
         }
     }
 
+    /// Merges another shard's counters into this one.
+    ///
+    /// Additive counters sum; peak-occupancy gauges take the maximum.
+    /// Merging is commutative and associative, so any partition of a
+    /// render into shards (per SM, per worker thread) folds back to the
+    /// same totals — the invariant the parallel render engine's
+    /// bit-identity guarantee rests on.
+    pub fn merge(&mut self, other: &SimStats) {
+        // Exhaustive destructuring (no `..`): adding a counter without
+        // deciding how it merges is a compile error, not a silent
+        // undercount in every multi-SM render.
+        let SimStats {
+            node_fetches_total,
+            node_fetches_unique,
+            internal_fetches_total,
+            internal_fetches_unique,
+            fetch_latency_cycles,
+            box_tests,
+            triangle_tests,
+            sphere_tests,
+            ellipsoid_tests,
+            ray_transforms,
+            any_hit_invocations,
+            checkpoint_writes,
+            checkpoint_reads,
+            eviction_writes,
+            peak_checkpoint_entries,
+            peak_eviction_entries,
+            rounds,
+            rays,
+            blended_gaussians,
+        } = *other;
+        self.node_fetches_total += node_fetches_total;
+        self.node_fetches_unique += node_fetches_unique;
+        self.internal_fetches_total += internal_fetches_total;
+        self.internal_fetches_unique += internal_fetches_unique;
+        self.fetch_latency_cycles += fetch_latency_cycles;
+        self.box_tests += box_tests;
+        self.triangle_tests += triangle_tests;
+        self.sphere_tests += sphere_tests;
+        self.ellipsoid_tests += ellipsoid_tests;
+        self.ray_transforms += ray_transforms;
+        self.any_hit_invocations += any_hit_invocations;
+        self.checkpoint_writes += checkpoint_writes;
+        self.checkpoint_reads += checkpoint_reads;
+        self.eviction_writes += eviction_writes;
+        self.peak_checkpoint_entries = self.peak_checkpoint_entries.max(peak_checkpoint_entries);
+        self.peak_eviction_entries = self.peak_eviction_entries.max(peak_eviction_entries);
+        self.rounds += rounds;
+        self.rays += rays;
+        self.blended_gaussians += blended_gaussians;
+    }
+
     /// Redundancy factor: total / unique fetches (Fig. 7's gap).
     pub fn redundancy(&self) -> f64 {
         if self.node_fetches_unique == 0 {

@@ -1,0 +1,165 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses:
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a simple calibrated sampling loop reporting the median
+//! nanoseconds per iteration. `--test` (as passed by
+//! `cargo bench -- --test`) runs each benchmark exactly once for a fast
+//! smoke pass.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(200),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.test_mode {
+            f(&mut b);
+            println!("test {name} ... ok");
+            return self;
+        }
+        // Warm up and calibrate the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut calib_iters = 1u64;
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            b.iters = calib_iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = (b.elapsed / calib_iters as u32).max(Duration::from_nanos(1));
+            calib_iters = calib_iters.saturating_mul(2).min(1 << 24);
+        }
+        let budget = self.measurement_time / self.sample_size as u32;
+        let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!("{name:<32} time: [{lo:>10.1} ns {median:>10.1} ns {hi:>10.1} ns] ({iters} iters/sample)");
+        self
+    }
+}
+
+/// Per-benchmark measurement handle (stub of `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function (stub of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` (stub of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn bench_function_runs_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        quick(&mut c);
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = false;
+        c.bench_function("spin", |b| b.iter(|| black_box((0..100u32).sum::<u32>())));
+    }
+}

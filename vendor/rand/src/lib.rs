@@ -1,0 +1,167 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace
+//! uses: `SmallRng::seed_from_u64` plus `Rng::gen_range` over primitive
+//! ranges.
+//!
+//! The container this repository builds in has no registry access, so
+//! the real crate cannot be fetched. The generator is a SplitMix64 —
+//! statistically solid for scene synthesis, fully deterministic, and
+//! stable across platforms (which the test-suite relies on).
+
+use std::ops::Range;
+
+pub mod rngs {
+    /// Deterministic small-state RNG (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+
+    impl SmallRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub(crate) fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use rngs::SmallRng;
+
+/// Seeding behavior (stub of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix so nearby seeds diverge immediately.
+        let mut rng = SmallRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        };
+        rng.next_u64();
+        SmallRng { state: rng.state }
+    }
+}
+
+/// Types uniformly samplable from a `Range` (stub of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Draws one value from `range`.
+    fn sample_in(range: Range<Self>, rng: &mut SmallRng) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample_in(range: Range<Self>, rng: &mut SmallRng) -> Self {
+        let u = rng.next_f64() as f32;
+        let v = range.start + u * (range.end - range.start);
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_in(range: Range<Self>, rng: &mut SmallRng) -> Self {
+        let u = rng.next_f64();
+        let v = range.start + u * (range.end - range.start);
+        if v >= range.end {
+            range.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_in(range: Range<Self>, rng: &mut SmallRng) -> Self {
+                let span = (range.end as i128 - range.start as i128).max(1) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range sampling (stub of `rand::distributions::uniform::SampleRange`).
+///
+/// The single blanket impl ties `T` to the range's element type during
+/// inference — exactly how the real crate lets
+/// `rng.gen_range(-1.0..1.0) * some_f32` resolve the literals to `f32`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single(self, rng: &mut SmallRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut SmallRng) -> T {
+        T::sample_in(self, rng)
+    }
+}
+
+/// Stub of the `rand::Rng` extension trait.
+pub trait Rng {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for SmallRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen_lo = false;
+        for _ in 0..10_000 {
+            let v: usize = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            seen_lo |= v == 3;
+        }
+        assert!(seen_lo, "range endpoints must be reachable");
+    }
+}
