@@ -22,7 +22,7 @@
 //! * [`traversal`] — the RT-core traversal state machine: per-ray stack,
 //!   `t`-interval validation, any-hit callbacks, and the GRTX-HW
 //!   checkpoint/replay mechanism;
-//! * [`reference`] — brute-force intersection oracles used by tests.
+//! * [`mod@reference`] — brute-force intersection oracles used by tests.
 
 pub mod builder;
 pub mod layout;
@@ -32,8 +32,11 @@ pub mod traversal;
 pub mod two_level;
 pub mod wide;
 
-pub use builder::{BuildPrim, BuilderConfig};
-pub use layout::{AddressSpace, BvhSizeReport, LayoutConfig};
+pub use builder::{
+    assemble_wide_bvh, build_subtree, build_wide_bvh, plan_frontier, BinarySubtree, BuildPrim,
+    BuilderConfig, FrontierRange, SplitPlan,
+};
+pub use layout::{format_bytes, AddressSpace, BvhSizeReport, LayoutConfig};
 pub use monolithic::MonolithicBvh;
 pub use traversal::{
     trace_round, AnyHitVerdict, CheckpointEntry, CheckpointSink, FetchKind, NullObserver,
@@ -43,6 +46,18 @@ pub use two_level::TwoLevelBvh;
 pub use wide::{ChildKind, WideBvh, WideChild, WideNode};
 
 use grtx_scene::GaussianScene;
+
+/// One [`BuildPrim`] per Gaussian at the scene's bounding radius, in
+/// Gaussian-id order — the shared build input of every per-Gaussian
+/// organization (the two-level TLAS and the custom-ellipsoid monolithic
+/// BVH). A single source keeps the serial and sharded builds of either
+/// organization structurally aligned on identical primitives.
+pub fn gaussian_build_prims(scene: &GaussianScene) -> Vec<BuildPrim> {
+    scene
+        .world_aabbs()
+        .map(|(_, aabb)| BuildPrim::from_aabb(aabb))
+        .collect()
+}
 
 /// Which bounding proxy represents a Gaussian inside the acceleration
 /// structure (paper Figs. 5, 12, 22).

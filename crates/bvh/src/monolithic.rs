@@ -62,33 +62,52 @@ impl MonolithicBvh {
         primitive: BoundingPrimitive,
         layout: &LayoutConfig,
     ) -> Self {
-        let builder_cfg = BuilderConfig {
-            max_leaf_size: layout.mono_max_leaf,
-            ..Default::default()
-        };
+        let builder_cfg = Self::builder_config(layout);
         match primitive {
             BoundingPrimitive::Mesh20 | BoundingPrimitive::Mesh80 => {
-                let template = if primitive == BoundingPrimitive::Mesh20 {
-                    TemplateMesh::icosahedron()
-                } else {
-                    TemplateMesh::icosphere_80()
-                };
-                Self::build_mesh(scene, primitive, &template, layout, &builder_cfg)
+                let (build_prims, verts, gaussian_of) = Self::mesh_build_prims(scene, primitive);
+                let bvh = build_wide_bvh(&build_prims, &builder_cfg);
+                Self::assemble_mesh(primitive, verts, gaussian_of, bvh, layout)
             }
-            BoundingPrimitive::CustomEllipsoid => Self::build_custom(scene, layout, &builder_cfg),
+            BoundingPrimitive::CustomEllipsoid => {
+                let build_prims = Self::custom_build_prims(scene);
+                let bvh = build_wide_bvh(&build_prims, &builder_cfg);
+                Self::assemble_custom(bvh, layout)
+            }
             BoundingPrimitive::UnitSphere => {
                 panic!("unit-sphere primitives require the two-level organization")
             }
         }
     }
 
-    fn build_mesh(
+    /// The builder configuration monolithic structures use for a layout.
+    pub fn builder_config(layout: &LayoutConfig) -> BuilderConfig {
+        BuilderConfig {
+            max_leaf_size: layout.mono_max_leaf,
+            ..Default::default()
+        }
+    }
+
+    /// Build inputs for a mesh-proxy monolithic BVH: one [`BuildPrim`]
+    /// per world-space proxy triangle (Gaussian-major order), plus the
+    /// triangle corners and owning-Gaussian table the leaves store.
+    /// Exposed so `grtx-shard` can run the sharded parallel build over
+    /// exactly the same primitives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primitive` is not [`BoundingPrimitive::Mesh20`] or
+    /// [`BoundingPrimitive::Mesh80`].
+    #[allow(clippy::type_complexity)]
+    pub fn mesh_build_prims(
         scene: &GaussianScene,
         primitive: BoundingPrimitive,
-        template: &TemplateMesh,
-        layout: &LayoutConfig,
-        builder_cfg: &BuilderConfig,
-    ) -> Self {
+    ) -> (Vec<BuildPrim>, Vec<[Vec3; 3]>, Vec<u32>) {
+        let template = match primitive {
+            BoundingPrimitive::Mesh20 => TemplateMesh::icosahedron(),
+            BoundingPrimitive::Mesh80 => TemplateMesh::icosphere_80(),
+            _ => panic!("mesh build prims require a mesh bounding primitive"),
+        };
         let tri_per = template.triangle_count();
         let n = scene.len();
         let mut verts = Vec::with_capacity(n * tri_per);
@@ -112,7 +131,25 @@ impl MonolithicBvh {
                 gaussian_of.push(g_idx as u32);
             }
         }
-        let bvh = build_wide_bvh(&build_prims, builder_cfg);
+        (build_prims, verts, gaussian_of)
+    }
+
+    /// Build inputs for the custom-ellipsoid monolithic BVH: one
+    /// [`BuildPrim`] per Gaussian, in Gaussian-id order.
+    pub fn custom_build_prims(scene: &GaussianScene) -> Vec<BuildPrim> {
+        crate::gaussian_build_prims(scene)
+    }
+
+    /// Wraps an externally built mesh-proxy BVH (e.g. a sharded parallel
+    /// build over [`Self::mesh_build_prims`]) with the leaf payloads,
+    /// addresses, and byte accounting.
+    pub fn assemble_mesh(
+        primitive: BoundingPrimitive,
+        verts: Vec<[Vec3; 3]>,
+        gaussian_of: Vec<u32>,
+        bvh: WideBvh,
+        layout: &LayoutConfig,
+    ) -> Self {
         let mut space = AddressSpace::new();
         let node_base = space.alloc(bvh.node_count() as u64, layout.node_bytes);
         let prim_base = space.alloc(bvh.prim_count() as u64, layout.triangle_bytes);
@@ -129,16 +166,9 @@ impl MonolithicBvh {
         }
     }
 
-    fn build_custom(
-        scene: &GaussianScene,
-        layout: &LayoutConfig,
-        builder_cfg: &BuilderConfig,
-    ) -> Self {
-        let build_prims: Vec<BuildPrim> = scene
-            .world_aabbs()
-            .map(|(_, aabb)| BuildPrim::from_aabb(aabb))
-            .collect();
-        let bvh = build_wide_bvh(&build_prims, builder_cfg);
+    /// Wraps an externally built BVH over [`Self::custom_build_prims`]
+    /// with the ellipsoid payload, addresses, and byte accounting.
+    pub fn assemble_custom(bvh: WideBvh, layout: &LayoutConfig) -> Self {
         let mut space = AddressSpace::new();
         let node_base = space.alloc(bvh.node_count() as u64, layout.node_bytes);
         let prim_base = space.alloc(bvh.prim_count() as u64, layout.ellipsoid_prim_bytes);

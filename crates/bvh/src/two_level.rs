@@ -70,23 +70,44 @@ pub struct TwoLevelBvh {
 }
 
 impl TwoLevelBvh {
+    /// TLAS build inputs: one [`BuildPrim`] per Gaussian, in Gaussian-id
+    /// order (the order [`Self::from_tlas`] expects the TLAS to be built
+    /// over). Exposed so `grtx-shard` can run the sharded parallel build
+    /// over exactly the same primitives.
+    pub fn tlas_build_prims(scene: &GaussianScene) -> Vec<BuildPrim> {
+        crate::gaussian_build_prims(scene)
+    }
+
+    /// The TLAS builder configuration for a layout.
+    pub fn tlas_builder_config(layout: &LayoutConfig) -> BuilderConfig {
+        BuilderConfig {
+            max_leaf_size: layout.tlas_max_leaf,
+            ..Default::default()
+        }
+    }
+
     /// Builds the TLAS + shared BLAS for a scene.
     pub fn build(
         scene: &GaussianScene,
         primitive: BoundingPrimitive,
         layout: &LayoutConfig,
     ) -> Self {
-        let build_prims: Vec<BuildPrim> = scene
-            .world_aabbs()
-            .map(|(_, aabb)| BuildPrim::from_aabb(aabb))
-            .collect();
-        let tlas = build_wide_bvh(
-            &build_prims,
-            &BuilderConfig {
-                max_leaf_size: layout.tlas_max_leaf,
-                ..Default::default()
-            },
-        );
+        let build_prims = Self::tlas_build_prims(scene);
+        let tlas = build_wide_bvh(&build_prims, &Self::tlas_builder_config(layout));
+        Self::from_tlas(scene, primitive, layout, tlas)
+    }
+
+    /// Wraps an externally built TLAS (e.g. a sharded parallel build)
+    /// with the instances, shared BLAS, and byte accounting. The TLAS
+    /// must be built over [`Self::tlas_build_prims`] with
+    /// [`Self::tlas_builder_config`]; a TLAS identical to the serial
+    /// build's yields an identical structure — addresses included.
+    pub fn from_tlas(
+        scene: &GaussianScene,
+        primitive: BoundingPrimitive,
+        layout: &LayoutConfig,
+        tlas: WideBvh,
+    ) -> Self {
         let instances: Vec<Instance> = (0..scene.len())
             .map(|i| Instance {
                 gaussian: i as u32,

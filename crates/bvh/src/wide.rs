@@ -46,7 +46,7 @@ pub struct WideNode {
 /// The BVH does not own primitive data; leaves index into `prim_order`,
 /// which maps to caller-side primitive ids. Node 0 is the root (for
 /// non-empty inputs).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WideBvh {
     /// Interior nodes; index 0 is the root.
     pub nodes: Vec<WideNode>,

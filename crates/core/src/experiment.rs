@@ -8,6 +8,7 @@ use grtx_render::tracer::{KBufferStorage, TraceMode, TraceParams};
 use grtx_scene::profile::DEFAULT_SCALE_DIVISOR;
 use grtx_scene::synth::generate_scene;
 use grtx_scene::{Camera, EffectObjects, GaussianScene, SceneKind, SceneProfile};
+use grtx_shard::{ShardedAccel, ShardingSummary};
 use grtx_sim::GpuConfig;
 
 /// One named acceleration/hardware configuration from the paper's
@@ -144,6 +145,14 @@ pub struct RunOptions {
     /// changes results — images, cycles, and statistics are bit-identical
     /// at any value — only wall-clock time.
     pub threads: usize,
+    /// Scene shards for the acceleration-structure build (`0` = the
+    /// serial unsharded build). With `k > 0`, the structure is built as
+    /// `k` spatial shards in parallel (on [`RunOptions::threads`]
+    /// workers) and the result carries per-shard accounting in
+    /// [`ExperimentResult::sharding`]. Shard count never changes results
+    /// — images, cycles, and statistics are bit-identical to the
+    /// unsharded path at any value — only build wall-clock time.
+    pub shards: usize,
 }
 
 impl Default for RunOptions {
@@ -158,6 +167,7 @@ impl Default for RunOptions {
             storage: KBufferStorage::GlobalSoA,
             effects_seed: None,
             threads: 0,
+            shards: 0,
         }
     }
 }
@@ -174,6 +184,10 @@ pub struct ExperimentResult {
     /// Factor to extrapolate sizes to paper scale
     /// (`full_gaussian_count / generated count`).
     pub scale_factor: f64,
+    /// Sharded-build metadata when [`RunOptions::shards`] > 0: per-shard
+    /// and directory accounting plus build-phase timings. `None` for the
+    /// serial unsharded build.
+    pub sharding: Option<ShardingSummary>,
 }
 
 /// A generated scene plus its evaluation camera, reused across variants.
@@ -241,6 +255,27 @@ impl SceneSetup {
         AccelStruct::build(&self.scene, variant.primitive, variant.two_level, layout)
     }
 
+    /// Builds the variant's structure as `shards` spatial shards in
+    /// parallel on `threads` workers (`0` = all cores). The result is
+    /// bit-identical to [`Self::build_accel`] and additionally carries
+    /// per-shard/directory accounting.
+    pub fn build_sharded_accel(
+        &self,
+        variant: &PipelineVariant,
+        layout: &LayoutConfig,
+        shards: usize,
+        threads: usize,
+    ) -> ShardedAccel {
+        ShardedAccel::build(
+            &self.scene,
+            variant.primitive,
+            variant.two_level,
+            layout,
+            shards,
+            threads,
+        )
+    }
+
     /// Runs one full simulated render for `(variant, options)`.
     pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
         let layout = if options.layout_amd {
@@ -248,8 +283,16 @@ impl SceneSetup {
         } else {
             LayoutConfig::default()
         };
-        let accel = self.build_accel(variant, &layout);
-        self.run_with_accel(&accel, variant, options)
+        if options.shards > 0 {
+            let sharded =
+                self.build_sharded_accel(variant, &layout, options.shards, options.threads);
+            let mut result = self.run_with_accel(sharded.accel(), variant, options);
+            result.sharding = Some(sharded.summary());
+            result
+        } else {
+            let accel = self.build_accel(variant, &layout);
+            self.run_with_accel(&accel, variant, options)
+        }
     }
 
     /// Runs with a pre-built structure (lets benches reuse expensive
@@ -294,6 +337,7 @@ impl SceneSetup {
             size: *accel.size_report(),
             height: accel.height(),
             scale_factor: self.profile.full_gaussian_count as f64 / self.scene.len().max(1) as f64,
+            sharding: None,
         }
     }
 }

@@ -35,9 +35,10 @@ pub mod experiment;
 
 pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup};
 
-pub use grtx_bvh::{AccelStruct, BoundingPrimitive, LayoutConfig};
+pub use grtx_bvh::{format_bytes, AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
 pub use grtx_render::{
     render_rasterized, Image, RenderConfig, RenderEngine, RenderReport, TraceMode, TraceParams,
 };
 pub use grtx_scene::{Camera, CameraModel, EffectObjects, Gaussian, GaussianScene, SceneKind};
+pub use grtx_shard::{ScenePartition, ShardInfo, ShardSpec, ShardedAccel, ShardingSummary};
 pub use grtx_sim::{checkpoint_hw_cost_bytes, GpuConfig};

@@ -13,7 +13,7 @@
 //! same per-SM cycle counts, statistics, and blend states.
 //!
 //! After the fan-out, per-fragment state is merged in fixed SM order
-//! (miden-style fragment replay): [`SimStats`] counters sum (peaks take
+//! (miden-style fragment replay): [`grtx_sim::SimStats`] counters sum (peaks take
 //! the max), memory-traffic counters sum with the touched-line footprint
 //! unioned, per-warp `(compute, stall)` times land in one global vector
 //! that the [`WarpSchedule`] makespan model reduces, and blend states

@@ -133,12 +133,22 @@ impl Gaussian {
 }
 
 /// A flat container of Gaussians plus cached scene-level data.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GaussianScene {
     gaussians: Vec<Gaussian>,
     /// Bounding radius multiplier used when building acceleration
     /// structures.
     sigma_bound: f32,
+    /// Cached union of all world AABBs — `bounds()` is on the hot path of
+    /// the shard partitioner and the experiment layer, and the container
+    /// is immutable after construction.
+    bounds: Aabb,
+}
+
+impl Default for GaussianScene {
+    fn default() -> Self {
+        Self::new(Vec::new())
+    }
 }
 
 impl GaussianScene {
@@ -150,10 +160,15 @@ impl GaussianScene {
 
     /// Creates a scene with an explicit bounding radius multiplier.
     pub fn with_sigma_bound(gaussians: Vec<Gaussian>, sigma_bound: f32) -> Self {
-        let gaussians = gaussians.into_iter().filter(Gaussian::is_valid).collect();
+        let gaussians: Vec<Gaussian> = gaussians.into_iter().filter(Gaussian::is_valid).collect();
+        let mut bounds = Aabb::EMPTY;
+        for g in &gaussians {
+            bounds = bounds.union(&g.world_aabb(sigma_bound));
+        }
         Self {
             gaussians,
             sigma_bound,
+            bounds,
         }
     }
 
@@ -208,13 +223,9 @@ impl GaussianScene {
             .expect("scene construction filters degenerate Gaussians")
     }
 
-    /// World-space bounds of the whole scene.
+    /// World-space bounds of the whole scene (cached at construction).
     pub fn bounds(&self) -> Aabb {
-        let mut b = Aabb::EMPTY;
-        for (_, aabb) in self.world_aabbs() {
-            b = b.union(&aabb);
-        }
-        b
+        self.bounds
     }
 }
 
@@ -322,6 +333,26 @@ mod tests {
         for g in scene.gaussians() {
             assert!(b.contains_point(g.mean));
         }
+    }
+
+    #[test]
+    fn cached_bounds_match_recomputed_union() {
+        let scene: GaussianScene = (0..25)
+            .map(|i| {
+                Gaussian::isotropic(
+                    Vec3::new(i as f32, (i * 7 % 5) as f32, -(i as f32)),
+                    0.1 + (i % 4) as f32 * 0.2,
+                    0.5,
+                    Vec3::ONE,
+                )
+            })
+            .collect();
+        let mut expected = Aabb::EMPTY;
+        for (_, aabb) in scene.world_aabbs() {
+            expected = expected.union(&aabb);
+        }
+        assert_eq!(scene.bounds(), expected);
+        assert!(GaussianScene::default().bounds().is_empty());
     }
 
     #[test]

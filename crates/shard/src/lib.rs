@@ -1,0 +1,48 @@
+//! Scene sharding: spatial shards with per-shard acceleration
+//! structures, parallel builds, and deterministic sharded rendering.
+//!
+//! Multi-million-Gaussian scenes make the TLAS the build bottleneck: the
+//! binned-SAH builder is serial and whole-scene. This crate splits a
+//! [`GaussianScene`](grtx_scene::GaussianScene) into K spatial shards and
+//! builds one acceleration subtree per shard in parallel:
+//!
+//! * [`ScenePartition`] — the spatial partitioner. Each cut is an
+//!   axis-aligned plane chosen by the canonical builder's own binned-SAH
+//!   decision (median fallback for degenerate distributions), and every
+//!   Gaussian lands in exactly one shard.
+//! * [`ShardedAccel`] — builds per-shard subtrees concurrently over
+//!   `std::thread::scope` workers (the render engine's fan-out pattern)
+//!   and stitches them, in shard order, under the *shard directory*: the
+//!   small top-level shard BVH a ray walks before dispatching into a
+//!   shard's subtree. Byte accounting is reported per shard and for the
+//!   directory, summing exactly to the whole-structure
+//!   [`BvhSizeReport`](grtx_bvh::BvhSizeReport).
+//!
+//! # Determinism guarantee
+//!
+//! Because shard boundaries are builder-aligned, the stitched structure
+//! is **bit-identical** to the serial build — the same nodes, the same
+//! primitive order, the same simulated fetch addresses. Rendering a
+//! sharded scene therefore produces bit-identical images, cycle counts,
+//! and statistics for *any* shard count and *any* thread count; sharding
+//! changes build wall-clock time only. The equivalence is enforced by
+//! this crate's structural tests and by the end-to-end render tests in
+//! the experiment layer.
+//!
+//! Shard subtrees are self-contained (contiguous node and primitive
+//! ranges), which is the foundation for incremental per-shard rebuilds,
+//! out-of-core shard residency, and distributed rendering.
+
+pub mod accel;
+pub mod partition;
+
+pub use accel::{ShardInfo, ShardedAccel, ShardingSummary};
+pub use partition::{ScenePartition, ShardSpec};
+
+/// Worker threads a parallel phase should actually use: `requested = 0`
+/// means all available cores, clamped to `1..=work_items`.
+pub fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let requested = if requested == 0 { hw } else { requested };
+    requested.clamp(1, work_items.max(1))
+}

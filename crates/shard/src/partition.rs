@@ -1,0 +1,187 @@
+//! Spatial partitioning of a [`GaussianScene`] into shards.
+//!
+//! The partitioner replays the top of the canonical binned-SAH recursion
+//! over the per-Gaussian world AABBs (`world_aabbs()`): every cut is an
+//! axis-aligned plane through the centroid distribution — the exact cut
+//! the serial TLAS builder would make at that node, with a median
+//! fallback for degenerate distributions. Splitting always divides the
+//! most populous shard, so populations stay balanced.
+//!
+//! Builder alignment is what makes sharding *invisible*: a frontier of
+//! builder splits is an antichain of the canonical build recursion, so
+//! per-shard subtrees reassemble into the exact serial structure (see
+//! [`crate::ShardedAccel`]) and sharded rendering stays bit-identical to
+//! the unsharded path.
+
+use grtx_bvh::{plan_frontier, BuilderConfig, TwoLevelBvh};
+use grtx_math::Aabb;
+use grtx_scene::GaussianScene;
+
+/// One spatial shard: a subset of the scene's Gaussians plus its bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSpec {
+    /// Shard id, `0..partition.len()`, in canonical (left-to-right
+    /// structure) order.
+    pub id: usize,
+    /// Global Gaussian ids owned by this shard. Every scene Gaussian
+    /// appears in exactly one shard.
+    pub gaussians: Vec<u32>,
+    /// Union of the member Gaussians' world AABBs.
+    pub bounds: Aabb,
+}
+
+impl ShardSpec {
+    /// Number of Gaussians in the shard.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// `true` if the shard owns no Gaussians (never produced by the
+    /// partitioner; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+}
+
+/// A complete spatial partition of a scene into K shards.
+#[derive(Debug, Clone)]
+pub struct ScenePartition {
+    shards: Vec<ShardSpec>,
+    bounds: Aabb,
+}
+
+impl ScenePartition {
+    /// Partitions `scene` into (up to) `shards` spatial shards with the
+    /// TLAS split discipline (any shard with more than one Gaussian can
+    /// split further). Scenes with at least `shards` Gaussians always
+    /// yield exactly `shards` shards; smaller scenes yield one singleton
+    /// shard per Gaussian, and an empty scene yields no shards.
+    pub fn new(scene: &GaussianScene, shards: usize) -> Self {
+        Self::with_min_split(scene, shards, 1)
+    }
+
+    /// Partitions with an explicit split floor: shards stop splitting at
+    /// or below `min_split` Gaussians — matching a builder whose
+    /// `max_leaf_size` is `min_split` keeps the frontier build-aligned.
+    pub fn with_min_split(scene: &GaussianScene, shards: usize, min_split: usize) -> Self {
+        let prims = TwoLevelBvh::tlas_build_prims(scene);
+        let mut indices: Vec<u32> = (0..prims.len() as u32).collect();
+        let config = BuilderConfig {
+            max_leaf_size: min_split.max(1),
+            ..Default::default()
+        };
+        let plan = plan_frontier(&prims, &mut indices, shards, &config);
+        let shards = plan
+            .ranges()
+            .iter()
+            .enumerate()
+            .map(|(id, range)| ShardSpec {
+                id,
+                gaussians: indices[range.start..range.start + range.count].to_vec(),
+                bounds: range.aabb,
+            })
+            .collect();
+        Self {
+            shards,
+            bounds: scene.bounds(),
+        }
+    }
+
+    /// The shards, in canonical order.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` for the partition of an empty scene.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The partitioned scene's bounds (equals the union of all shard
+    /// bounds).
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Owning shard of each Gaussian: `map[g] == shard id`.
+    pub fn shard_of_gaussian(&self) -> Vec<usize> {
+        let total: usize = self.shards.iter().map(ShardSpec::len).sum();
+        let mut map = vec![usize::MAX; total];
+        for shard in &self.shards {
+            for &g in &shard.gaussians {
+                map[g as usize] = shard.id;
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtx_math::Vec3;
+    use grtx_scene::Gaussian;
+
+    fn grid_scene(n: usize) -> GaussianScene {
+        (0..n)
+            .map(|i| {
+                Gaussian::isotropic(
+                    Vec3::new((i % 13) as f32, ((i / 13) % 7) as f32, (i / 91) as f32),
+                    0.2,
+                    0.6,
+                    Vec3::ONE,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_covers_scene_exactly() {
+        let scene = grid_scene(200);
+        let p = ScenePartition::new(&scene, 8);
+        assert_eq!(p.len(), 8);
+        let mut all: Vec<u32> = p
+            .shards()
+            .iter()
+            .flat_map(|s| s.gaussians.clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shard_bounds_union_to_scene_bounds() {
+        let scene = grid_scene(150);
+        let p = ScenePartition::new(&scene, 5);
+        let mut union = Aabb::EMPTY;
+        for s in p.shards() {
+            union = union.union(&s.bounds);
+        }
+        assert_eq!(union, scene.bounds());
+    }
+
+    #[test]
+    fn tiny_and_empty_scenes() {
+        let empty = ScenePartition::new(&GaussianScene::default(), 4);
+        assert!(empty.is_empty());
+        let three = ScenePartition::new(&grid_scene(3), 16);
+        assert_eq!(three.len(), 3, "one singleton shard per Gaussian");
+    }
+
+    #[test]
+    fn shard_of_gaussian_is_consistent() {
+        let scene = grid_scene(64);
+        let p = ScenePartition::new(&scene, 4);
+        let map = p.shard_of_gaussian();
+        for shard in p.shards() {
+            for &g in &shard.gaussians {
+                assert_eq!(map[g as usize], shard.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Wall-clock contract of the parallel shard build, mirroring the render
+//! engine's `parallel_scaling` test: a K-shard build on 4 threads must
+//! beat 1 thread on a large synthetic scene.
+//!
+//! Wall-clock assertions are too noisy for shared CI runners, so this
+//! only arms itself on dedicated hardware: set `GRTX_PERF=1` with ≥ 4
+//! cores available (both conditions are checked, with a note when
+//! skipping).
+
+use grtx_bvh::{BoundingPrimitive, LayoutConfig};
+use grtx_scene::synth::generate_scene;
+use grtx_scene::SceneKind;
+use grtx_shard::ShardedAccel;
+use std::time::Instant;
+
+#[test]
+fn four_threads_speed_up_sharded_tlas_build() {
+    if std::env::var("GRTX_PERF").is_err() {
+        eprintln!("skipping speedup assertion: set GRTX_PERF=1 on dedicated >=4-core hardware");
+        return;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if hw < 4 {
+        eprintln!("skipping speedup assertion: needs >= 4 cores, host has {hw}");
+        return;
+    }
+    let scene = generate_scene(SceneKind::Train.profile().with_gaussian_budget(400_000), 42);
+    let layout = LayoutConfig::default();
+    let time = |threads: usize| {
+        // Warm once, then take the best of two runs to damp scheduler
+        // noise.
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let start = Instant::now();
+            let sharded = ShardedAccel::build(
+                &scene,
+                BoundingPrimitive::UnitSphere,
+                true,
+                &layout,
+                32,
+                threads,
+            );
+            best = best.min(start.elapsed().as_secs_f64());
+            assert_eq!(sharded.shard_count(), 32);
+        }
+        best
+    };
+    let serial = time(1);
+    let parallel = time(4);
+    let speedup = serial / parallel;
+    assert!(
+        speedup > 1.5,
+        "4-thread shard build must be > 1.5x faster than 1 (got {speedup:.2}x: {serial:.3}s vs {parallel:.3}s)"
+    );
+}

@@ -1,0 +1,118 @@
+//! Property tests for the spatial partitioner: for arbitrary scenes and
+//! shard counts, every Gaussian lands in exactly one shard, shard bounds
+//! union to the scene bounds, the requested shard count is honored
+//! whenever the scene is large enough, and degenerate scenes are handled.
+
+use grtx_math::{Aabb, Vec3};
+use grtx_scene::{Gaussian, GaussianScene};
+use grtx_shard::ScenePartition;
+use proptest::prelude::*;
+
+/// Arbitrary valid scenes: positions in a box, anisotropic-ish scales.
+fn arb_scene(max_len: usize) -> impl Strategy<Value = GaussianScene> {
+    prop::collection::vec(
+        (
+            (-20.0f32..20.0, -8.0f32..8.0, -20.0f32..20.0),
+            0.05f32..1.5,
+            0.1f32..1.0,
+        ),
+        1..max_len,
+    )
+    .prop_map(|params| {
+        params
+            .into_iter()
+            .map(|((x, y, z), sigma, opacity)| {
+                Gaussian::isotropic(Vec3::new(x, y, z), sigma, opacity, Vec3::ONE)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Disjoint cover: sorting the concatenated shard membership yields
+    /// exactly the scene's Gaussian ids, each once.
+    #[test]
+    fn every_gaussian_lands_in_exactly_one_shard(
+        scene in arb_scene(250),
+        k in 1usize..24,
+    ) {
+        let partition = ScenePartition::new(&scene, k);
+        let mut all: Vec<u32> = partition
+            .shards()
+            .iter()
+            .flat_map(|s| s.gaussians.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..scene.len() as u32).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Shard bounds union exactly to the scene bounds (min/max unions are
+    /// exact in IEEE arithmetic, so this is equality, not containment).
+    #[test]
+    fn shard_bounds_union_to_scene_bounds(
+        scene in arb_scene(200),
+        k in 1usize..16,
+    ) {
+        let partition = ScenePartition::new(&scene, k);
+        let mut union = Aabb::EMPTY;
+        for shard in partition.shards() {
+            prop_assert!(!shard.is_empty(), "partitioner never emits empty shards");
+            union = union.union(&shard.bounds);
+        }
+        prop_assert_eq!(union, scene.bounds());
+    }
+
+    /// Exactly `k` shards whenever the scene has at least `k` Gaussians;
+    /// one singleton shard per Gaussian otherwise.
+    #[test]
+    fn shard_count_is_respected(
+        scene in arb_scene(120),
+        k in 1usize..40,
+    ) {
+        let partition = ScenePartition::new(&scene, k);
+        prop_assert_eq!(partition.len(), k.min(scene.len()));
+    }
+
+    /// Coincident Gaussians (all centroids equal) exercise the median
+    /// fallback and must still partition cleanly.
+    #[test]
+    fn degenerate_coincident_scenes_partition(
+        n in 1usize..80,
+        k in 1usize..12,
+    ) {
+        let scene: GaussianScene = (0..n)
+            .map(|_| Gaussian::isotropic(Vec3::ONE, 0.3, 0.5, Vec3::ONE))
+            .collect();
+        let partition = ScenePartition::new(&scene, k);
+        prop_assert_eq!(partition.len(), k.min(n));
+        let total: usize = partition.shards().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+}
+
+#[test]
+fn empty_scene_yields_no_shards() {
+    let partition = ScenePartition::new(&GaussianScene::default(), 8);
+    assert!(partition.is_empty());
+    assert_eq!(partition.len(), 0);
+    assert!(partition.bounds().is_empty());
+}
+
+#[test]
+fn min_split_floor_stops_splitting() {
+    // With a split floor of 8 (the monolithic leaf width), splitting
+    // stops once every shard holds at most 8 Gaussians — far fewer than
+    // the 64 requested shards.
+    let scene: GaussianScene = (0..16)
+        .map(|i| Gaussian::isotropic(Vec3::new(i as f32, 0.0, 0.0), 0.2, 0.5, Vec3::ONE))
+        .collect();
+    let partition = ScenePartition::with_min_split(&scene, 64, 8);
+    assert!(partition.len() >= 2, "a 16-Gaussian scene must split");
+    assert!(
+        partition.shards().iter().all(|s| s.len() <= 8),
+        "no shard may exceed the split floor after exhaustive splitting"
+    );
+}

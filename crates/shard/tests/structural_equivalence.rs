@@ -1,0 +1,137 @@
+//! The sharding contract at the structure level: for every organization
+//! and any shard/thread count, the sharded parallel build produces the
+//! exact structure the serial build produces — node arrays, primitive
+//! order, heights, and byte layout all bit-identical.
+
+use grtx_bvh::{AccelStruct, BoundingPrimitive, LayoutConfig};
+use grtx_scene::synth::generate_scene;
+use grtx_scene::SceneKind;
+use grtx_shard::ShardedAccel;
+
+fn test_scene(budget: usize, seed: u64) -> grtx_scene::GaussianScene {
+    generate_scene(
+        SceneKind::Train.profile().with_gaussian_budget(budget),
+        seed,
+    )
+}
+
+#[test]
+fn sharded_two_level_matches_serial_bitwise() {
+    let scene = test_scene(700, 11);
+    let layout = LayoutConfig::default();
+    for primitive in [
+        BoundingPrimitive::UnitSphere,
+        BoundingPrimitive::Mesh20,
+        BoundingPrimitive::Mesh80,
+        BoundingPrimitive::CustomEllipsoid,
+    ] {
+        let serial = AccelStruct::build(&scene, primitive, true, &layout);
+        let AccelStruct::TwoLevel(serial) = &serial else {
+            unreachable!()
+        };
+        for shards in [1usize, 2, 8, 57] {
+            for threads in [1usize, 4] {
+                let sharded =
+                    ShardedAccel::build(&scene, primitive, true, &layout, shards, threads);
+                let AccelStruct::TwoLevel(two) = sharded.accel() else {
+                    panic!("expected a two-level structure")
+                };
+                assert_eq!(
+                    serial.tlas, two.tlas,
+                    "{primitive} shards={shards} threads={threads}: TLAS diverged"
+                );
+                assert_eq!(serial.size_report, two.size_report);
+                assert_eq!(serial.tlas_node_base, two.tlas_node_base);
+                assert_eq!(serial.instance_base, two.instance_base);
+                assert_eq!(serial.blas_node_base, two.blas_node_base);
+                assert_eq!(serial.blas_prim_base, two.blas_prim_base);
+                assert_eq!(serial.height(), two.height());
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_monolithic_matches_serial_bitwise() {
+    let scene = test_scene(250, 3);
+    let layout = LayoutConfig::default();
+    for primitive in [
+        BoundingPrimitive::Mesh20,
+        BoundingPrimitive::CustomEllipsoid,
+    ] {
+        let serial = AccelStruct::build(&scene, primitive, false, &layout);
+        let AccelStruct::Monolithic(serial) = &serial else {
+            unreachable!()
+        };
+        for shards in [2usize, 8] {
+            let sharded = ShardedAccel::build(&scene, primitive, false, &layout, shards, 3);
+            let AccelStruct::Monolithic(mono) = sharded.accel() else {
+                panic!("expected a monolithic structure")
+            };
+            assert_eq!(
+                serial.bvh, mono.bvh,
+                "{primitive} shards={shards}: BVH diverged"
+            );
+            assert_eq!(serial.size_report, mono.size_report);
+            assert_eq!(serial.node_base, mono.node_base);
+            assert_eq!(serial.prim_base, mono.prim_base);
+        }
+    }
+}
+
+#[test]
+fn sharded_build_is_independent_of_thread_count() {
+    let scene = test_scene(500, 29);
+    let layout = LayoutConfig::amd();
+    let reference = ShardedAccel::build(&scene, BoundingPrimitive::UnitSphere, true, &layout, 8, 1);
+    for threads in [2usize, 3, 8, 0] {
+        let other = ShardedAccel::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &layout,
+            8,
+            threads,
+        );
+        let (AccelStruct::TwoLevel(a), AccelStruct::TwoLevel(b)) =
+            (reference.accel(), other.accel())
+        else {
+            panic!("expected two-level structures")
+        };
+        assert_eq!(a.tlas, b.tlas, "threads={threads}");
+        assert_eq!(reference.shards().len(), other.shards().len());
+        for (x, y) in reference.shards().iter().zip(other.shards()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.prim_start, y.prim_start);
+            assert_eq!(x.prim_count, y.prim_count);
+            assert_eq!(x.bounds, y.bounds);
+            assert_eq!(x.size, y.size);
+        }
+        assert_eq!(reference.directory(), other.directory());
+    }
+}
+
+#[test]
+fn shard_count_scales_directory_but_never_totals() {
+    let scene = test_scene(600, 5);
+    let layout = LayoutConfig::default();
+    let serial = AccelStruct::build(&scene, BoundingPrimitive::UnitSphere, true, &layout);
+    let mut last_dir_nodes = 0;
+    for shards in [1usize, 4, 16] {
+        let sharded = ShardedAccel::build(
+            &scene,
+            BoundingPrimitive::UnitSphere,
+            true,
+            &layout,
+            shards,
+            0,
+        );
+        assert_eq!(sharded.size_report(), serial.size_report());
+        let dir_nodes = sharded.directory().node_count;
+        assert!(
+            dir_nodes >= last_dir_nodes,
+            "directory grows (weakly) with shard count"
+        );
+        last_dir_nodes = dir_nodes;
+    }
+}
