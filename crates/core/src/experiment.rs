@@ -141,9 +141,10 @@ pub struct RunOptions {
     /// (Fig. 23); the value is the placement seed.
     pub effects_seed: Option<u64>,
     /// Host worker threads for the render engine (`0` = all available
-    /// cores, capped at the simulated SM count). Thread count never
-    /// changes results — images, cycles, and statistics are bit-identical
-    /// at any value — only wall-clock time.
+    /// cores, capped at the parallel work available: simulated SMs ×
+    /// cameras in the launch). Thread count never changes results —
+    /// images, cycles, and statistics are bit-identical at any value —
+    /// only wall-clock time.
     pub threads: usize,
     /// Scene shards for the acceleration-structure build (`0` = the
     /// serial unsharded build). With `k > 0`, the structure is built as
@@ -276,13 +277,86 @@ impl SceneSetup {
         )
     }
 
-    /// Runs one full simulated render for `(variant, options)`.
-    pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
-        let layout = if options.layout_amd {
+    /// The variant/options-prescribed acceleration-structure layout.
+    fn layout(options: &RunOptions) -> LayoutConfig {
+        if options.layout_amd {
             LayoutConfig::amd()
         } else {
             LayoutConfig::default()
+        }
+    }
+
+    /// The variant/options-prescribed render configuration.
+    fn render_config(variant: &PipelineVariant, options: &RunOptions) -> RenderConfig {
+        let mode = if options.single_round {
+            TraceMode::SingleRound
+        } else if variant.checkpointing {
+            TraceMode::MultiRoundCheckpoint
+        } else {
+            TraceMode::MultiRoundRestart
         };
+        RenderConfig {
+            params: TraceParams {
+                k: options.k,
+                mode,
+                storage: options.storage,
+                ..Default::default()
+            },
+            charge_sorting: options.charge_sorting,
+            charge_blending: options.charge_blending,
+            ..Default::default()
+        }
+    }
+
+    /// The options-prescribed effect objects, if any.
+    fn effects(&self, options: &RunOptions) -> Option<EffectObjects> {
+        options
+            .effects_seed
+            .map(|s| EffectObjects::place_in(self.profile.half_extent, s))
+    }
+
+    /// Wraps a render report into a per-view experiment row.
+    fn result_for(&self, accel: &AccelStruct, report: RenderReport) -> ExperimentResult {
+        ExperimentResult {
+            report,
+            size: *accel.size_report(),
+            height: accel.height(),
+            scale_factor: self.profile.full_gaussian_count as f64 / self.scene.len().max(1) as f64,
+            sharding: None,
+        }
+    }
+
+    /// Cameras for a deterministic `views`-view sweep of this scene:
+    /// view 0 is the profile's evaluation camera; the remaining views
+    /// orbit the eye around the vertical axis at the same radius and
+    /// height, all looking at the scene center.
+    pub fn orbit_cameras(&self, views: usize) -> Vec<Camera> {
+        let eye = self.profile.camera_eye();
+        let radius = (eye.x * eye.x + eye.z * eye.z).sqrt();
+        let base = eye.z.atan2(eye.x);
+        (0..views)
+            .map(|v| {
+                if v == 0 {
+                    return self.camera.clone();
+                }
+                let angle = base + std::f32::consts::TAU * v as f32 / views as f32;
+                let orbit_eye =
+                    grtx_math::Vec3::new(radius * angle.cos(), eye.y, radius * angle.sin());
+                Camera::look_at(
+                    self.profile.resolution.0,
+                    self.profile.resolution.1,
+                    self.camera.model(),
+                    orbit_eye,
+                    grtx_math::Vec3::ZERO,
+                    grtx_math::Vec3::Y,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs one full simulated render for `(variant, options)`.
+    pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
+        let layout = Self::layout(options);
         if options.shards > 0 {
             let sharded =
                 self.build_sharded_accel(variant, &layout, options.shards, options.threads);
@@ -303,28 +377,9 @@ impl SceneSetup {
         variant: &PipelineVariant,
         options: &RunOptions,
     ) -> ExperimentResult {
-        let mode = if options.single_round {
-            TraceMode::SingleRound
-        } else if variant.checkpointing {
-            TraceMode::MultiRoundCheckpoint
-        } else {
-            TraceMode::MultiRoundRestart
-        };
-        let config = RenderConfig {
-            params: TraceParams {
-                k: options.k,
-                mode,
-                storage: options.storage,
-                ..Default::default()
-            },
-            charge_sorting: options.charge_sorting,
-            charge_blending: options.charge_blending,
-            ..Default::default()
-        };
+        let config = Self::render_config(variant, options);
         let gpu = options.gpu.clone().with_cache_scale(self.divisor);
-        let effects = options
-            .effects_seed
-            .map(|s| EffectObjects::place_in(self.profile.half_extent, s));
+        let effects = self.effects(options);
         let report = RenderEngine::new(gpu).with_threads(options.threads).render(
             accel,
             &self.scene,
@@ -332,13 +387,68 @@ impl SceneSetup {
             effects.as_ref(),
             &config,
         );
-        ExperimentResult {
-            report,
-            size: *accel.size_report(),
-            height: accel.height(),
-            scale_factor: self.profile.full_gaussian_count as f64 / self.scene.len().max(1) as f64,
-            sharding: None,
+        self.result_for(accel, report)
+    }
+
+    /// Renders `cameras` views of this scene in one batched engine
+    /// invocation, building the acceleration structure **exactly once**
+    /// (sharded when [`RunOptions::shards`] > 0, in which case every
+    /// view's result carries the same sharding summary).
+    ///
+    /// Returns one [`ExperimentResult`] per view, in camera order; each
+    /// view's report is bit-identical to a standalone
+    /// [`Self::run`]-style render of that camera.
+    pub fn run_batch(
+        &self,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        cameras: &[Camera],
+    ) -> Vec<ExperimentResult> {
+        let layout = Self::layout(options);
+        if options.shards > 0 {
+            let sharded =
+                self.build_sharded_accel(variant, &layout, options.shards, options.threads);
+            let mut results = self.run_batch_with_accel(sharded.accel(), variant, options, cameras);
+            for result in &mut results {
+                result.sharding = Some(sharded.summary());
+            }
+            results
+        } else {
+            let accel = self.build_accel(variant, &layout);
+            self.run_batch_with_accel(&accel, variant, options, cameras)
         }
+    }
+
+    /// [`Self::run_batch`] with a pre-built structure (lets benches
+    /// reuse expensive builds across view-count sweeps).
+    pub fn run_batch_with_accel(
+        &self,
+        accel: &AccelStruct,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        cameras: &[Camera],
+    ) -> Vec<ExperimentResult> {
+        let config = Self::render_config(variant, options);
+        let gpu = options.gpu.clone().with_cache_scale(self.divisor);
+        let effects = self.effects(options);
+        RenderEngine::new(gpu)
+            .with_threads(options.threads)
+            .render_batch(accel, &self.scene, cameras, effects.as_ref(), &config)
+            .into_iter()
+            .map(|report| self.result_for(accel, report))
+            .collect()
+    }
+
+    /// [`Self::run_batch`] over an [`Self::orbit_cameras`] sweep: the
+    /// `RunOptions`-driven multi-view entry point (threads/shards/k all
+    /// apply batch-wide).
+    pub fn run_views(
+        &self,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        views: usize,
+    ) -> Vec<ExperimentResult> {
+        self.run_batch(variant, options, &self.orbit_cameras(views))
     }
 }
 
@@ -414,6 +524,61 @@ mod tests {
             base.report.time_ms
         );
         assert!(grtx.size.total_bytes < base.size.total_bytes / 2);
+    }
+
+    #[test]
+    fn orbit_cameras_start_at_the_evaluation_view() {
+        let setup = tiny_setup();
+        let cams = setup.orbit_cameras(4);
+        assert_eq!(cams.len(), 4);
+        assert_eq!(cams[0], setup.camera);
+        // All views share the eye's orbit radius and height.
+        let r = |c: &Camera| (c.eye().x * c.eye().x + c.eye().z * c.eye().z).sqrt();
+        for cam in &cams[1..] {
+            assert!((r(cam) - r(&cams[0])).abs() < 1e-3);
+            assert!((cam.eye().y - cams[0].eye().y).abs() < 1e-5);
+            assert_ne!(cam.eye(), cams[0].eye(), "views must differ");
+        }
+        // Deterministic: a second call yields identical cameras.
+        assert_eq!(setup.orbit_cameras(4), cams);
+    }
+
+    #[test]
+    fn run_views_matches_run_on_the_first_view() {
+        let setup = tiny_setup();
+        let opts = RunOptions {
+            k: 8,
+            ..Default::default()
+        };
+        let variant = PipelineVariant::grtx();
+        let batch = setup.run_views(&variant, &opts, 2);
+        assert_eq!(batch.len(), 2);
+        let standalone = setup.run(&variant, &opts);
+        assert_eq!(
+            batch[0].report.image.pixels(),
+            standalone.report.image.pixels()
+        );
+        assert_eq!(batch[0].report.cycles, standalone.report.cycles);
+        assert_eq!(batch[0].report.stats, standalone.report.stats);
+        // Different views see different images (orbit moved the eye).
+        assert_ne!(
+            batch[0].report.image.pixels(),
+            batch[1].report.image.pixels()
+        );
+    }
+
+    #[test]
+    fn sharded_batches_carry_the_summary_on_every_view() {
+        let setup = tiny_setup();
+        let opts = RunOptions {
+            shards: 2,
+            ..Default::default()
+        };
+        let results = setup.run_views(&PipelineVariant::grtx_sw(), &opts, 2);
+        for r in &results {
+            let sharding = r.sharding.as_ref().expect("sharded run carries summary");
+            assert_eq!(sharding.shard_sizes.len(), 2);
+        }
     }
 
     #[test]

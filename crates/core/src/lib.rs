@@ -30,6 +30,19 @@
 //! assert!(result.report.time_ms > 0.0);
 //! assert!(result.report.image.mean_luminance() > 0.0);
 //! ```
+//!
+//! Many views of one scene batch into a single engine invocation that
+//! builds the acceleration structure exactly once — each view's report
+//! bit-identical to a standalone render:
+//!
+//! ```
+//! use grtx::{PipelineVariant, RunOptions, SceneSetup};
+//! use grtx_scene::SceneKind;
+//!
+//! let setup = SceneSetup::evaluation(SceneKind::Train, 2000, 32, 42);
+//! let views = setup.run_views(&PipelineVariant::grtx(), &RunOptions::default(), 3);
+//! assert_eq!(views.len(), 3);
+//! ```
 
 pub mod experiment;
 

@@ -1,5 +1,5 @@
 //! The parallel render engine: per-SM fragment simulation fanned out
-//! over host threads.
+//! over host threads, for one camera or a whole batch of them.
 //!
 //! # Execution model
 //!
@@ -12,11 +12,27 @@
 //! on any number of worker threads in any order and still produce the
 //! same per-SM cycle counts, statistics, and blend states.
 //!
+//! # Batched launches
+//!
+//! A batch of cameras over one scene is a sequence of raygen *launches*
+//! against the same acceleration structure. Each launch restarts the
+//! warp round-robin at SM 0 and starts from cold per-launch SM state, so
+//! the fragment unit generalizes to **fragments = SM × camera**: warp
+//! `w` of camera `c` runs on [`WarpSchedule::sm_of_launch_warp`]`(w)`
+//! inside fragment `(c, s)`, and every `(camera, SM)` fragment is still
+//! a closed deterministic computation. [`RenderEngine::render_batch`]
+//! fans all `cameras × SMs` fragments over one worker pool — amortizing
+//! thread spin-up and sharing the structure — and merges them per
+//! camera in fixed `(camera, SM)` order, so each camera's report is
+//! **bit-identical** to a standalone [`RenderEngine::render`] of that
+//! camera. Single-camera `render` *is* the batch path at `N = 1`.
+//!
 //! After the fan-out, per-fragment state is merged in fixed SM order
 //! (miden-style fragment replay): [`grtx_sim::SimStats`] counters sum (peaks take
 //! the max), memory-traffic counters sum with the touched-line footprint
-//! unioned, per-warp `(compute, stall)` times land in one global vector
-//! that the [`WarpSchedule`] makespan model reduces, and blend states
+//! unioned, per-warp `(compute, stall)` times land in one camera-indexed
+//! vector (sliced by [`WarpSchedule::launch_warp_bases`]) that the
+//! [`WarpSchedule`] makespan model reduces per camera, and blend states
 //! scatter back to their pixels. The result is **bit-identical** for
 //! `threads = 1` and `threads = N` — a property the test-suite enforces
 //! on images, cycles, and every counter.
@@ -39,72 +55,20 @@ struct Job {
     t_cut: f32,
 }
 
-/// Everything one SM fragment produces; merged in SM order afterwards.
-struct SmOutcome {
-    /// The fragment's simulator (stats + memory counters).
-    sim: GpuSim,
-    /// `(global warp index, (compute, stall))` for this SM's warps.
-    warp_times: Vec<(usize, (u64, u64))>,
-    /// `(global job index, final blend state)` for this SM's rays.
-    blends: Vec<(usize, BlendState)>,
+/// One camera's raygen launch: its primary/secondary jobs and warp
+/// counts, in the camera-local namespace (job and warp indices both
+/// start at 0 for every launch).
+struct CameraLaunch {
+    primary_jobs: Vec<Job>,
+    secondary_jobs: Vec<Job>,
+    primary_warps: usize,
+    secondary_warps: usize,
 }
 
-/// Whole-image renderer executing simulated SMs in parallel.
-///
-/// `threads = 0` (the default) uses every available core, capped at the
-/// simulated SM count. Any thread count produces bit-identical images,
-/// cycle totals, and statistics; threads only change wall-clock time.
-#[derive(Debug, Clone)]
-pub struct RenderEngine {
-    gpu: GpuConfig,
-    threads: usize,
-}
-
-impl RenderEngine {
-    /// Creates an engine for the given GPU configuration, using all
-    /// available cores.
-    pub fn new(gpu: GpuConfig) -> Self {
-        Self { gpu, threads: 0 }
-    }
-
-    /// Sets the worker-thread count (`0` = all available cores). The
-    /// count is capped at the simulated SM count, the unit of parallel
-    /// work.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
-    }
-
-    /// The GPU configuration this engine simulates.
-    pub fn gpu(&self) -> &GpuConfig {
-        &self.gpu
-    }
-
-    /// Worker threads the next render will actually use.
-    pub fn effective_threads(&self) -> usize {
-        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let requested = if self.threads == 0 { hw } else { self.threads };
-        requested.clamp(1, self.gpu.num_sms.max(1))
-    }
-
-    /// Renders a camera view through the simulated GPU.
-    ///
-    /// With `effects`, rays hitting the glass sphere / mirror spawn
-    /// secondary rays whose Gaussian traversal is simulated separately
-    /// (Fig. 23) and composited into the image.
-    pub fn render(
-        &self,
-        accel: &AccelStruct,
-        scene: &GaussianScene,
-        camera: &Camera,
-        effects: Option<&EffectObjects>,
-        config: &RenderConfig,
-    ) -> RenderReport {
-        let warp_size = self.gpu.warp_size.max(1);
-        let num_sms = self.gpu.num_sms.max(1);
-
-        // Partition pixels into primary jobs (with effect cut-offs) and
-        // secondary jobs — serial and deterministic.
+impl CameraLaunch {
+    /// Partitions a camera's pixels into primary jobs (with effect
+    /// cut-offs) and secondary jobs — serial and deterministic.
+    fn plan(camera: &Camera, effects: Option<&EffectObjects>, warp_size: usize) -> Self {
         let mut primary_jobs: Vec<Job> = Vec::with_capacity(camera.pixel_count());
         let mut secondary_jobs: Vec<Job> = Vec::new();
         for (pixel, ray) in camera.rays() {
@@ -121,42 +85,187 @@ impl RenderEngine {
             }
             primary_jobs.push(Job { pixel, ray, t_cut });
         }
-
         let primary_warps = primary_jobs.len().div_ceil(warp_size);
         let secondary_warps = secondary_jobs.len().div_ceil(warp_size);
-        let threads = self.effective_threads();
+        Self {
+            primary_jobs,
+            secondary_jobs,
+            primary_warps,
+            secondary_warps,
+        }
+    }
+
+    /// Warps this launch issues (primary + secondary).
+    fn total_warps(&self) -> usize {
+        self.primary_warps + self.secondary_warps
+    }
+}
+
+/// Everything one `(camera, SM)` fragment produces; merged per camera
+/// in SM order afterwards. Indices are camera-local.
+struct SmOutcome {
+    /// The fragment's simulator (stats + memory counters).
+    sim: GpuSim,
+    /// `(launch-local warp index, (compute, stall))` for this SM's warps.
+    warp_times: Vec<(usize, (u64, u64))>,
+    /// `(launch-local job index, final blend state)` for this SM's rays.
+    blends: Vec<(usize, BlendState)>,
+}
+
+/// Whole-image renderer executing simulated SMs in parallel.
+///
+/// `threads = 0` (the default) uses every available core, capped at the
+/// parallel work available (simulated SMs × cameras). Any thread count
+/// produces bit-identical images, cycle totals, and statistics; threads
+/// only change wall-clock time.
+#[derive(Debug, Clone)]
+pub struct RenderEngine {
+    gpu: GpuConfig,
+    threads: usize,
+}
+
+impl RenderEngine {
+    /// Creates an engine for the given GPU configuration, using all
+    /// available cores.
+    pub fn new(gpu: GpuConfig) -> Self {
+        Self { gpu, threads: 0 }
+    }
+
+    /// Sets the worker-thread count (`0` = all available cores). The
+    /// count is capped at the fragment count (simulated SMs × cameras),
+    /// the unit of parallel work.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The GPU configuration this engine simulates.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// Worker threads a single-camera render will actually use.
+    pub fn effective_threads(&self) -> usize {
+        self.effective_threads_for(1)
+    }
+
+    /// Worker threads a `cameras`-view batch will actually use: the
+    /// requested count capped at `SMs × cameras` fragments.
+    pub fn effective_threads_for(&self, cameras: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.clamp(1, self.gpu.num_sms.max(1) * cameras.max(1))
+    }
+
+    /// Renders a camera view through the simulated GPU.
+    ///
+    /// With `effects`, rays hitting the glass sphere / mirror spawn
+    /// secondary rays whose Gaussian traversal is simulated separately
+    /// (Fig. 23) and composited into the image.
+    ///
+    /// This is [`Self::render_batch`] at `N = 1` — the batch path is the
+    /// only render body.
+    pub fn render(
+        &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        camera: &Camera,
+        effects: Option<&EffectObjects>,
+        config: &RenderConfig,
+    ) -> RenderReport {
+        self.render_batch(accel, scene, std::slice::from_ref(camera), effects, config)
+            .pop()
+            .expect("one camera yields one report")
+    }
+
+    /// Renders every camera of a batch against one shared acceleration
+    /// structure in a single fan-out.
+    ///
+    /// All cameras' launches flatten into `SMs × cameras` fragments over
+    /// one worker pool, amortizing engine warm-up and structure sharing
+    /// across views; per-fragment state merges per camera in fixed
+    /// `(camera, SM)` order. Each returned report — image, cycles, and
+    /// every statistic — is **bit-identical** to a standalone
+    /// [`Self::render`] of that camera at any thread count, because each
+    /// launch restarts the warp round-robin and simulates against cold
+    /// per-launch SM state.
+    ///
+    /// With `effects`, the same effect objects apply to every camera.
+    /// Returns one report per camera, in input order.
+    pub fn render_batch(
+        &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        cameras: &[Camera],
+        effects: Option<&EffectObjects>,
+        config: &RenderConfig,
+    ) -> Vec<RenderReport> {
+        let warp_size = self.gpu.warp_size.max(1);
+        let num_sms = self.gpu.num_sms.max(1);
+        let threads = self.effective_threads_for(cameras.len());
+
+        // Plan every camera's launch up front. Planning is pure and
+        // per-camera independent, so big batches plan on the worker pool
+        // too — camera `c` to worker `c % plan_threads` — with results
+        // landing by index, deterministically.
+        let plan_threads = threads.min(cameras.len());
+        let launches: Vec<CameraLaunch> = if plan_threads <= 1 {
+            cameras
+                .iter()
+                .map(|camera| CameraLaunch::plan(camera, effects, warp_size))
+                .collect()
+        } else {
+            let mut planned: Vec<Option<CameraLaunch>> = (0..cameras.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..plan_threads)
+                    .map(|worker| {
+                        scope.spawn(move || {
+                            (worker..cameras.len())
+                                .step_by(plan_threads)
+                                .map(|cam| {
+                                    (cam, CameraLaunch::plan(&cameras[cam], effects, warp_size))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (cam, launch) in handle.join().expect("plan worker panicked") {
+                        planned[cam] = Some(launch);
+                    }
+                }
+            });
+            planned
+                .into_iter()
+                .map(|l| l.expect("every camera planned"))
+                .collect()
+        };
         // Single source of the warp-to-SM policy: the same schedule that
         // reduces warp times to a makespan decides which fragment
         // simulates each warp.
         let schedule = WarpSchedule::new(&self.gpu);
 
-        // Fan the SM fragments out over worker threads. SM `s` goes to
-        // worker `s % threads`; each fragment is self-contained, so the
+        // Fan the SM × camera fragments out over worker threads.
+        // Fragment `f` is camera `f / SMs`, SM `f % SMs`, and goes to
+        // worker `f % threads`; each fragment is self-contained, so the
         // assignment only affects load balance, never results.
-        let mut outcomes: Vec<Option<SmOutcome>> = (0..num_sms).map(|_| None).collect();
+        let fragments = cameras.len() * num_sms;
+        let mut outcomes: Vec<Option<SmOutcome>> = (0..fragments).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let primary_jobs = &primary_jobs;
-            let secondary_jobs = &secondary_jobs;
+            let launches = &launches;
             let schedule = &schedule;
             let handles: Vec<_> = (0..threads)
                 .map(|worker| {
                     scope.spawn(move || {
-                        (worker..num_sms)
+                        (worker..fragments)
                             .step_by(threads)
-                            .map(|sm| {
+                            .map(|fragment| {
+                                let launch = &launches[fragment / num_sms];
+                                let sm = fragment % num_sms;
                                 (
-                                    sm,
+                                    fragment,
                                     self.run_sm_fragment(
-                                        sm,
-                                        schedule,
-                                        accel,
-                                        scene,
-                                        config,
-                                        primary_jobs,
-                                        secondary_jobs,
-                                        primary_warps,
-                                        secondary_warps,
-                                        warp_size,
+                                        sm, schedule, accel, scene, config, launch, warp_size,
                                     ),
                                 )
                             })
@@ -165,92 +274,65 @@ impl RenderEngine {
                 })
                 .collect();
             for handle in handles {
-                for (sm, outcome) in handle.join().expect("render worker panicked") {
-                    outcomes[sm] = Some(outcome);
+                for (fragment, outcome) in handle.join().expect("render worker panicked") {
+                    outcomes[fragment] = Some(outcome);
                 }
             }
         });
 
-        // Merge fragments in fixed SM order.
-        let mut all_warps = vec![(0u64, 0u64); primary_warps + secondary_warps];
-        let mut primary_blends = vec![BlendState::new(); primary_jobs.len()];
-        let mut secondary_blends = vec![BlendState::new(); secondary_jobs.len()];
-        let mut agg: Option<GpuSim> = None;
-        for outcome in outcomes
-            .into_iter()
-            .map(|o| o.expect("every SM fragment ran"))
-        {
-            for (warp, times) in &outcome.warp_times {
-                all_warps[*warp] = *times;
-            }
-            for (job, blend) in &outcome.blends {
-                if *job < primary_jobs.len() {
-                    primary_blends[*job] = *blend;
-                } else {
-                    secondary_blends[*job - primary_jobs.len()] = *blend;
+        // Merge per camera in fixed (camera, SM) order. Warp times land
+        // in one camera-indexed vector sliced by the per-launch bases.
+        let warp_counts: Vec<usize> = launches.iter().map(CameraLaunch::total_warps).collect();
+        let warp_bases = WarpSchedule::launch_warp_bases(&warp_counts);
+        let mut all_warps = vec![(0u64, 0u64); *warp_bases.last().expect("bases are non-empty")];
+        let mut outcomes = outcomes.into_iter();
+        launches
+            .iter()
+            .zip(cameras)
+            .enumerate()
+            .map(|(cam, (launch, camera))| {
+                let warp_slice = warp_bases[cam]..warp_bases[cam + 1];
+                let mut primary_blends = vec![BlendState::new(); launch.primary_jobs.len()];
+                let mut secondary_blends = vec![BlendState::new(); launch.secondary_jobs.len()];
+                let mut agg: Option<GpuSim> = None;
+                for outcome in outcomes
+                    .by_ref()
+                    .take(num_sms)
+                    .map(|o| o.expect("every SM fragment ran"))
+                {
+                    for (warp, times) in &outcome.warp_times {
+                        all_warps[warp_bases[cam] + warp] = *times;
+                    }
+                    for (job, blend) in &outcome.blends {
+                        if *job < launch.primary_jobs.len() {
+                            primary_blends[*job] = *blend;
+                        } else {
+                            secondary_blends[*job - launch.primary_jobs.len()] = *blend;
+                        }
+                    }
+                    match agg.as_mut() {
+                        None => agg = Some(outcome.sim),
+                        Some(acc) => acc.absorb(&outcome.sim),
+                    }
                 }
-            }
-            match agg.as_mut() {
-                None => agg = Some(outcome.sim),
-                Some(acc) => acc.absorb(&outcome.sim),
-            }
-        }
-        let sim = agg.expect("at least one SM fragment");
-
-        // Compose the image.
-        let mut image = Image::new(camera.width, camera.height);
-        for (job, blend) in primary_jobs.iter().zip(&primary_blends) {
-            image.set_pixel(job.pixel, blend.over_background(config.background));
-        }
-        if !secondary_jobs.is_empty() {
-            // Pixel -> primary blend index (cameras may skip pixels, so
-            // the job index is not the pixel index).
-            let primary_of_pixel: FastMap<u64, usize> = primary_jobs
-                .iter()
-                .enumerate()
-                .map(|(i, job)| (job.pixel as u64, i))
-                .collect();
-            for (job, blend) in secondary_jobs.iter().zip(&secondary_blends) {
-                // The primary path's remaining transmittance scales the
-                // reflected/refracted radiance.
-                let primary = primary_of_pixel
-                    .get(&(job.pixel as u64))
-                    .map(|&i| primary_blends[i])
-                    .expect("secondary jobs come from primary pixels");
-                let color = primary.color
-                    + blend.over_background(config.background) * primary.transmittance;
-                image.set_pixel(job.pixel, color);
-            }
-        }
-
-        let cycles = schedule.makespan(&all_warps);
-        let secondary = if secondary_jobs.is_empty() {
-            None
-        } else {
-            Some(SecondaryBreakdown {
-                primary_cycles: schedule.makespan(&all_warps[..primary_warps]),
-                secondary_cycles: schedule
-                    .makespan_from(primary_warps, &all_warps[primary_warps..]),
-                secondary_rays: secondary_jobs.len() as u64,
+                let sim = agg.expect("at least one SM fragment");
+                compose_report(
+                    launch,
+                    camera,
+                    config,
+                    &schedule,
+                    &all_warps[warp_slice],
+                    &primary_blends,
+                    &secondary_blends,
+                    sim,
+                )
             })
-        };
-
-        RenderReport {
-            time_ms: sim.cycles_to_ms(cycles),
-            cycles,
-            l1_hit_rate: sim.mem.l1_hit_rate(),
-            l2_accesses: sim.mem.l2_structure_accesses,
-            dram_accesses: sim.mem.dram_structure_accesses,
-            avg_fetch_latency: sim.stats.avg_fetch_latency(),
-            footprint_bytes: sim.mem.footprint_bytes(),
-            stats: sim.stats,
-            image,
-            secondary,
-        }
+            .collect()
     }
 
-    /// Simulates one SM fragment: its primary warps to completion, then
-    /// its secondary warps, against its own L1 + L2 slice.
+    /// Simulates one `(camera, SM)` fragment: the launch's primary warps
+    /// to completion, then its secondary warps, against its own cold L1
+    /// + L2 slice.
     #[allow(clippy::too_many_arguments)]
     fn run_sm_fragment(
         &self,
@@ -259,10 +341,7 @@ impl RenderEngine {
         accel: &AccelStruct,
         scene: &GaussianScene,
         config: &RenderConfig,
-        primary_jobs: &[Job],
-        secondary_jobs: &[Job],
-        primary_warps: usize,
-        secondary_warps: usize,
+        launch: &CameraLaunch,
         warp_size: usize,
     ) -> SmOutcome {
         let mut sim = GpuSim::sm_shard(&self.gpu);
@@ -273,17 +352,17 @@ impl RenderEngine {
         // seed renderer's ordering (all primaries retire before any
         // secondary starts).
         let phases: [(&[Job], usize, usize, usize); 2] = [
-            (primary_jobs, primary_warps, 0, 0),
+            (&launch.primary_jobs, launch.primary_warps, 0, 0),
             (
-                secondary_jobs,
-                secondary_warps,
-                primary_warps,
-                primary_jobs.len(),
+                &launch.secondary_jobs,
+                launch.secondary_warps,
+                launch.primary_warps,
+                launch.primary_jobs.len(),
             ),
         ];
         for (jobs, warp_count, warp_base, job_base) in phases {
             let my_warps: Vec<usize> = (0..warp_count)
-                .filter(|w| schedule.sm_of_warp(warp_base + w) == sm)
+                .filter(|w| schedule.sm_of_launch_warp(warp_base + w) == sm)
                 .collect();
             run_warp_queue(
                 &mut sim,
@@ -302,6 +381,72 @@ impl RenderEngine {
             warp_times,
             blends,
         }
+    }
+}
+
+/// Composes one camera's image and report from its merged launch state.
+#[allow(clippy::too_many_arguments)]
+fn compose_report(
+    launch: &CameraLaunch,
+    camera: &Camera,
+    config: &RenderConfig,
+    schedule: &WarpSchedule,
+    all_warps: &[(u64, u64)],
+    primary_blends: &[BlendState],
+    secondary_blends: &[BlendState],
+    sim: GpuSim,
+) -> RenderReport {
+    // Background-filled canvas: fisheye cameras skip pixels outside the
+    // image circle, and those must show the background, not black.
+    let mut image = Image::filled(camera.width, camera.height, config.background);
+    for (job, blend) in launch.primary_jobs.iter().zip(primary_blends) {
+        image.set_pixel(job.pixel, blend.over_background(config.background));
+    }
+    if !launch.secondary_jobs.is_empty() {
+        // Pixel -> primary blend index (cameras may skip pixels, so
+        // the job index is not the pixel index).
+        let primary_of_pixel: FastMap<u64, usize> = launch
+            .primary_jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| (job.pixel as u64, i))
+            .collect();
+        for (job, blend) in launch.secondary_jobs.iter().zip(secondary_blends) {
+            // The primary path's remaining transmittance scales the
+            // reflected/refracted radiance.
+            let primary = primary_of_pixel
+                .get(&(job.pixel as u64))
+                .map(|&i| primary_blends[i])
+                .expect("secondary jobs come from primary pixels");
+            let color =
+                primary.color + blend.over_background(config.background) * primary.transmittance;
+            image.set_pixel(job.pixel, color);
+        }
+    }
+
+    let cycles = schedule.makespan(all_warps);
+    let secondary = if launch.secondary_jobs.is_empty() {
+        None
+    } else {
+        Some(SecondaryBreakdown {
+            primary_cycles: schedule.makespan(&all_warps[..launch.primary_warps]),
+            secondary_cycles: schedule
+                .makespan_from(launch.primary_warps, &all_warps[launch.primary_warps..]),
+            secondary_rays: launch.secondary_jobs.len() as u64,
+        })
+    };
+
+    RenderReport {
+        time_ms: sim.cycles_to_ms(cycles),
+        cycles,
+        l1_hit_rate: sim.mem.l1_hit_rate(),
+        l2_accesses: sim.mem.l2_structure_accesses,
+        dram_accesses: sim.mem.dram_structure_accesses,
+        avg_fetch_latency: sim.stats.avg_fetch_latency(),
+        footprint_bytes: sim.mem.footprint_bytes(),
+        stats: sim.stats,
+        image,
+        secondary,
     }
 }
 
@@ -424,6 +569,7 @@ mod tests {
     use super::*;
     use crate::tracer::TraceMode;
     use grtx_bvh::{BoundingPrimitive, LayoutConfig};
+    use grtx_math::Vec3;
     use grtx_scene::{synth::generate_scene, CameraModel, SceneKind};
 
     fn tiny_setup() -> (GaussianScene, AccelStruct, Camera) {
@@ -515,10 +661,81 @@ mod tests {
     }
 
     #[test]
+    fn batch_of_one_is_a_standalone_render() {
+        let (scene, accel, camera) = tiny_setup();
+        let config = RenderConfig::default();
+        let engine = RenderEngine::new(GpuConfig::default()).with_threads(2);
+        let standalone = engine.render(&accel, &scene, &camera, None, &config);
+        let mut batch =
+            engine.render_batch(&accel, &scene, std::slice::from_ref(&camera), None, &config);
+        assert_eq!(batch.len(), 1);
+        let report = batch.pop().unwrap();
+        assert_eq!(standalone.image.pixels(), report.image.pixels());
+        assert_eq!(standalone.cycles, report.cycles);
+        assert_eq!(standalone.stats, report.stats);
+    }
+
+    #[test]
+    fn empty_batch_renders_nothing() {
+        let (scene, accel, _) = tiny_setup();
+        let reports = RenderEngine::new(GpuConfig::default()).render_batch(
+            &accel,
+            &scene,
+            &[],
+            None,
+            &RenderConfig::default(),
+        );
+        assert!(reports.is_empty());
+    }
+
+    /// Regression: fisheye pixels outside the image circle used to stay
+    /// `Vec3::ZERO` (the black canvas) because `Camera::rays()` skips
+    /// them and no job ever wrote them — ignoring the configured
+    /// background.
+    #[test]
+    fn fisheye_corners_show_the_background() {
+        let (scene, accel, _) = tiny_setup();
+        let camera = Camera::look_at(
+            24,
+            24,
+            CameraModel::Fisheye { max_theta: 1.4 },
+            SceneKind::Train.profile().camera_eye(),
+            Vec3::ZERO,
+            Vec3::Y,
+        );
+        let background = Vec3::new(0.25, 0.5, 0.75);
+        let config = RenderConfig {
+            background,
+            ..Default::default()
+        };
+        assert!(
+            camera.primary_ray(0, 0).is_none(),
+            "corner must lie outside the image circle"
+        );
+        let report =
+            RenderEngine::new(GpuConfig::default()).render(&accel, &scene, &camera, None, &config);
+        assert_eq!(
+            report.image.pixel(0),
+            background,
+            "unwritten fisheye corner must show the configured background"
+        );
+        // The last pixel of the first row is outside the circle too.
+        assert_eq!(report.image.pixel(23), background);
+    }
+
+    #[test]
     fn effective_threads_is_capped_by_sms() {
         let engine = RenderEngine::new(GpuConfig::default()).with_threads(64);
         assert_eq!(engine.effective_threads(), GpuConfig::default().num_sms);
         let one = RenderEngine::new(GpuConfig::default()).with_threads(1);
         assert_eq!(one.effective_threads(), 1);
+    }
+
+    #[test]
+    fn batches_raise_the_thread_cap() {
+        let engine = RenderEngine::new(GpuConfig::default()).with_threads(64);
+        let sms = GpuConfig::default().num_sms;
+        assert_eq!(engine.effective_threads_for(4), 64.min(sms * 4));
+        assert_eq!(engine.effective_threads_for(1), engine.effective_threads());
     }
 }

@@ -16,11 +16,27 @@ pub struct Image {
 impl Image {
     /// Creates a black image.
     pub fn new(width: u32, height: u32) -> Self {
+        Self::filled(width, height, Vec3::ZERO)
+    }
+
+    /// Creates an image with every pixel set to `color`.
+    ///
+    /// Renderers whose cameras may skip pixels (fisheye rays outside the
+    /// image circle) start from a background-filled canvas so unwritten
+    /// pixels keep the configured background instead of black.
+    pub fn filled(width: u32, height: u32, color: Vec3) -> Self {
         Self {
             width,
             height,
-            pixels: vec![Vec3::ZERO; (width * height) as usize],
+            pixels: vec![color; Self::linear_len(width, height)],
         }
+    }
+
+    /// Pixel count of a `width` × `height` image, widened to `usize`
+    /// before multiplying — `u32` arithmetic wraps for images of
+    /// 65536 × 65536 and beyond.
+    pub fn linear_len(width: u32, height: u32) -> usize {
+        width as usize * height as usize
     }
 
     /// Pixel accessor by linear index.
@@ -124,6 +140,26 @@ mod tests {
         let img = Image::new(4, 3);
         assert_eq!(img.pixels().len(), 12);
         assert_eq!(img.mean_luminance(), 0.0);
+    }
+
+    #[test]
+    fn filled_image_holds_its_color_everywhere() {
+        let bg = Vec3::new(0.1, 0.4, 0.7);
+        let img = Image::filled(3, 5, bg);
+        assert!(img.pixels().iter().all(|&p| p == bg));
+    }
+
+    /// Regression: the pixel-count arithmetic used to run in `u32`
+    /// (`(width * height) as usize`), wrapping — and panicking under
+    /// debug overflow checks — for ≥ 65536 × 65536 images. The widened
+    /// arithmetic must report the true count past `u32::MAX` (the
+    /// allocation itself would need ~51 GiB, so this checks the sizing
+    /// path only).
+    #[test]
+    fn linear_len_survives_products_above_u32_max() {
+        let len = Image::linear_len(65_536, 65_537);
+        assert_eq!(len, 65_536usize * 65_537usize);
+        assert!(len > u32::MAX as usize);
     }
 
     #[test]

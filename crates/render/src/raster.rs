@@ -199,7 +199,7 @@ pub fn render_rasterized(
                         }
                     }
                     image.set_pixel(
-                        (py * width + px) as usize,
+                        camera.pixel_index(px, py),
                         color + config.background * transmittance,
                     );
                 }

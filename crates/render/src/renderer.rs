@@ -129,7 +129,9 @@ pub fn render_functional(
     camera: &Camera,
     config: &RenderConfig,
 ) -> Image {
-    let mut image = Image::new(camera.width, camera.height);
+    // Background-filled canvas: fisheye cameras skip pixels outside the
+    // image circle, and those must show the background, not black.
+    let mut image = Image::filled(camera.width, camera.height, config.background);
     for (pixel, ray) in camera.rays() {
         let mut tracer = RayTracer::new(accel, scene, ray, config.params);
         let blend = tracer.run_to_completion(&mut grtx_bvh::NullObserver);

@@ -98,6 +98,18 @@ impl Camera {
         self.width as usize * self.height as usize
     }
 
+    /// Row-major linear index of pixel `(px, py)`, widened to `usize`
+    /// before multiplying — `u32` arithmetic wraps once `py * width`
+    /// passes `u32::MAX` (images of 65536 × 65536 and beyond).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pixel is out of bounds.
+    pub fn pixel_index(&self, px: u32, py: u32) -> usize {
+        assert!(px < self.width && py < self.height, "pixel out of bounds");
+        py as usize * self.width as usize + px as usize
+    }
+
     /// Generates the primary ray through pixel `(px, py)` (pixel centers).
     ///
     /// Returns `None` for fisheye pixels outside the image circle.
@@ -138,7 +150,7 @@ impl Camera {
         (0..self.height).flat_map(move |py| {
             (0..self.width).filter_map(move |px| {
                 self.primary_ray(px, py)
-                    .map(|ray| ((py * self.width + px) as usize, ray))
+                    .map(|ray| (self.pixel_index(px, py), ray))
             })
         })
     }
@@ -212,6 +224,30 @@ mod tests {
         for (_, ray) in cam.rays().take(100) {
             assert!((ray.direction.length() - 1.0).abs() < 1e-5);
         }
+    }
+
+    /// Regression: `rays()` used to compute `(py * self.width + px) as
+    /// usize` in `u32`, wrapping — and panicking under debug overflow
+    /// checks — once `py * width` passes `u32::MAX`. Camera construction
+    /// allocates nothing per pixel, so gigapixel dimensions are cheap to
+    /// index (no render).
+    #[test]
+    fn pixel_index_survives_products_above_u32_max() {
+        let cam = Camera::look_at(
+            65_536,
+            65_537,
+            CameraModel::Pinhole { fov_y: 0.8 },
+            Vec3::new(0.0, 0.0, 10.0),
+            Vec3::ZERO,
+            Vec3::Y,
+        );
+        // py * width alone is 2^32: already past u32.
+        assert_eq!(cam.pixel_index(0, 65_536), 4_294_967_296usize);
+        let last = cam.pixel_index(cam.width - 1, cam.height - 1);
+        assert_eq!(last, cam.pixel_count() - 1);
+        assert!(cam.pixel_count() > u32::MAX as usize);
+        // Ray generation at the far corner still works.
+        assert!(cam.primary_ray(cam.width - 1, cam.height - 1).is_some());
     }
 
     #[test]

@@ -36,6 +36,35 @@ impl WarpSchedule {
         warp % self.num_sms
     }
 
+    /// SM that warp `w` *of one launch* executes on.
+    ///
+    /// Every raygen launch restarts the tile scheduler's round-robin at
+    /// SM 0, so a warp's SM depends only on its index within its own
+    /// launch — never on how many warps earlier launches in a batch
+    /// issued. This is what makes a batched launch bit-identical to the
+    /// same launch running standalone.
+    pub fn sm_of_launch_warp(&self, warp_in_launch: usize) -> usize {
+        self.sm_of_warp(warp_in_launch)
+    }
+
+    /// Base offsets of each launch's warps inside one flat per-batch
+    /// warp-time vector: `bases[l]..bases[l + 1]` are launch `l`'s
+    /// warps, and `bases[counts.len()]` is the batch total.
+    ///
+    /// The bases only address storage — SM assignment stays per-launch
+    /// ([`Self::sm_of_launch_warp`]), so the round-robin restarts at
+    /// every base.
+    pub fn launch_warp_bases(warp_counts: &[usize]) -> Vec<usize> {
+        let mut bases = Vec::with_capacity(warp_counts.len() + 1);
+        let mut total = 0usize;
+        bases.push(0);
+        for &count in warp_counts {
+            total += count;
+            bases.push(total);
+        }
+        bases
+    }
+
     /// Converts per-warp `(compute, stall)` cycle pairs into total render
     /// cycles (the slowest SM).
     pub fn makespan(&self, warp_cycles: &[(u64, u64)]) -> u64 {
@@ -108,6 +137,26 @@ mod tests {
         assert_eq!(s.makespan_from(9, &warps[9..]), s.makespan(&warps[9..]));
         assert!(s.makespan_from(9, &warps[9..]) >= 90_000);
         assert!(s.makespan_from(9, &warps[9..]) <= s.makespan(&warps));
+    }
+
+    #[test]
+    fn launch_warps_restart_the_round_robin() {
+        let s = schedule();
+        // Warp 0 of any launch lands on SM 0, regardless of batch
+        // position — the per-launch index is the only input.
+        for w in 0..20 {
+            assert_eq!(s.sm_of_launch_warp(w), s.sm_of_warp(w));
+        }
+        assert_eq!(s.sm_of_launch_warp(0), 0);
+    }
+
+    #[test]
+    fn launch_warp_bases_are_prefix_sums() {
+        assert_eq!(WarpSchedule::launch_warp_bases(&[]), vec![0]);
+        assert_eq!(
+            WarpSchedule::launch_warp_bases(&[3, 0, 5]),
+            vec![0, 3, 3, 8]
+        );
     }
 
     #[test]
