@@ -2,6 +2,7 @@
 //! map one-to-one onto the paper's figures.
 
 use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+use grtx_pipeline::{FrameSource, JitterSource, OrbitSource, StreamConfig};
 use grtx_render::engine::RenderEngine;
 use grtx_render::renderer::{RenderConfig, RenderReport};
 use grtx_render::tracer::{KBufferStorage, TraceMode, TraceParams};
@@ -191,6 +192,21 @@ pub struct ExperimentResult {
     pub sharding: Option<ShardingSummary>,
 }
 
+/// One frame of a [`SceneSetup::run_stream`] frame stream: the frame's
+/// per-view experiment rows plus stream metadata.
+#[derive(Debug, Clone)]
+pub struct StreamFrame {
+    /// Frame index in the stream (results arrive in frame order).
+    pub index: usize,
+    /// Whether this frame rebuilt the acceleration structure (`false`
+    /// when the frame source reported the scene unchanged and the
+    /// previous frame's structure was reused).
+    pub rebuilt: bool,
+    /// One result per camera, in view order — each bit-identical to the
+    /// corresponding [`SceneSetup::run_batch`] row for that frame.
+    pub results: Vec<ExperimentResult>,
+}
+
 /// A generated scene plus its evaluation camera, reused across variants.
 #[derive(Debug)]
 pub struct SceneSetup {
@@ -329,29 +345,10 @@ impl SceneSetup {
     /// Cameras for a deterministic `views`-view sweep of this scene:
     /// view 0 is the profile's evaluation camera; the remaining views
     /// orbit the eye around the vertical axis at the same radius and
-    /// height, all looking at the scene center.
+    /// height, all looking at the scene center ([`Camera::orbit`] at
+    /// phase 0 — the same rig the frame pipeline's orbit streams use).
     pub fn orbit_cameras(&self, views: usize) -> Vec<Camera> {
-        let eye = self.profile.camera_eye();
-        let radius = (eye.x * eye.x + eye.z * eye.z).sqrt();
-        let base = eye.z.atan2(eye.x);
-        (0..views)
-            .map(|v| {
-                if v == 0 {
-                    return self.camera.clone();
-                }
-                let angle = base + std::f32::consts::TAU * v as f32 / views as f32;
-                let orbit_eye =
-                    grtx_math::Vec3::new(radius * angle.cos(), eye.y, radius * angle.sin());
-                Camera::look_at(
-                    self.profile.resolution.0,
-                    self.profile.resolution.1,
-                    self.camera.model(),
-                    orbit_eye,
-                    grtx_math::Vec3::ZERO,
-                    grtx_math::Vec3::Y,
-                )
-            })
-            .collect()
+        self.camera.orbit(views, 0.0)
     }
 
     /// Runs one full simulated render for `(variant, options)`.
@@ -404,6 +401,10 @@ impl SceneSetup {
         options: &RunOptions,
         cameras: &[Camera],
     ) -> Vec<ExperimentResult> {
+        if cameras.is_empty() {
+            // A view-less batch renders nothing — and builds nothing.
+            return Vec::new();
+        }
         let layout = Self::layout(options);
         if options.shards > 0 {
             let sharded =
@@ -449,6 +450,108 @@ impl SceneSetup {
         views: usize,
     ) -> Vec<ExperimentResult> {
         self.run_batch(variant, options, &self.orbit_cameras(views))
+    }
+
+    /// A copy of this setup rendering a different scene — the per-frame
+    /// unit a frame stream mutates (profile, camera, and divisor stay,
+    /// so cache scaling and effect placement match frame-for-frame).
+    pub fn with_scene(&self, scene: GaussianScene) -> SceneSetup {
+        SceneSetup {
+            kind: self.kind,
+            profile: self.profile.clone(),
+            scene,
+            camera: self.camera.clone(),
+            divisor: self.divisor,
+        }
+    }
+
+    /// The [`StreamConfig`] equivalent of `(variant, options)`: a
+    /// pipelined frame of this configuration simulates exactly what a
+    /// per-frame [`Self::run_batch`] would.
+    fn stream_config(
+        &self,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        depth: usize,
+    ) -> StreamConfig {
+        StreamConfig {
+            depth,
+            threads: options.threads,
+            shards: options.shards,
+            primitive: variant.primitive,
+            two_level: variant.two_level,
+            layout: Self::layout(options),
+            render: Self::render_config(variant, options),
+            gpu: options.gpu.clone().with_cache_scale(self.divisor),
+            effects: self.effects(options),
+        }
+    }
+
+    /// Runs `frames` frames of `source` through the async frame pipeline
+    /// (`grtx-pipeline`): scene update, acceleration-structure build
+    /// (sharded per [`RunOptions::shards`], skipped when the source
+    /// reports the scene unchanged), and batched rendering overlap
+    /// across up to `depth` frames in flight on
+    /// [`RunOptions::threads`] workers.
+    ///
+    /// Frames arrive in strict frame order, and every frame's images,
+    /// cycles, and statistics are **bit-identical** to a sequential
+    /// per-frame [`Self::run_batch`] of the same scene and cameras — at
+    /// any depth, thread count, and shard count. `depth ≤ 1` *is* the
+    /// sequential path (the pipeline's proof anchor); `depth = 3`
+    /// reaches the full update(N+2) ∥ build(N+1) ∥ render(N) overlap.
+    pub fn run_stream(
+        &self,
+        source: &dyn FrameSource,
+        frames: usize,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        depth: usize,
+    ) -> Vec<StreamFrame> {
+        grtx_pipeline::run_stream(source, frames, &self.stream_config(variant, options, depth))
+            .into_iter()
+            .map(|frame| StreamFrame {
+                index: frame.index,
+                rebuilt: frame.rebuilt,
+                results: frame
+                    .reports
+                    .into_iter()
+                    .map(|report| ExperimentResult {
+                        report,
+                        size: frame.size,
+                        height: frame.height,
+                        scale_factor: self.profile.full_gaussian_count as f64
+                            / frame.gaussians.max(1) as f64,
+                        sharding: frame.sharding.clone(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// An [`OrbitSource`] over this setup's scene: `views` cameras per
+    /// frame on the evaluation camera's orbit, the rig advancing `step`
+    /// radians per frame. Frame 0 reproduces [`Self::orbit_cameras`]
+    /// exactly; no frame after 0 rebuilds the structure.
+    pub fn orbit_source(&self, views: usize, step: f32) -> OrbitSource {
+        OrbitSource::new(
+            std::sync::Arc::new(self.scene.clone()),
+            self.camera.clone(),
+            views,
+            step,
+        )
+    }
+
+    /// A [`JitterSource`] over this setup's scene: the evaluation camera
+    /// every frame, Gaussian means jittering by `amplitude` world units
+    /// every `period` frames (each jitter frame rebuilds the structure).
+    pub fn jitter_source(&self, amplitude: f32, period: usize) -> JitterSource {
+        JitterSource::with_period(
+            std::sync::Arc::new(self.scene.clone()),
+            vec![self.camera.clone()],
+            amplitude,
+            period,
+        )
     }
 }
 
@@ -579,6 +682,30 @@ mod tests {
             let sharding = r.sharding.as_ref().expect("sharded run carries summary");
             assert_eq!(sharding.shard_sizes.len(), 2);
         }
+    }
+
+    #[test]
+    fn zero_view_sweeps_are_empty() {
+        let setup = tiny_setup();
+        assert!(setup.orbit_cameras(0).is_empty());
+        assert!(setup
+            .run_views(&PipelineVariant::grtx(), &RunOptions::default(), 0)
+            .is_empty());
+        assert!(setup
+            .run_batch(&PipelineVariant::grtx(), &RunOptions::default(), &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn stream_sources_start_from_the_evaluation_view() {
+        let setup = tiny_setup();
+        let orbit = setup.orbit_source(3, 0.25);
+        let frame0 = grtx_pipeline::FrameSource::frame(&orbit, 0);
+        assert_eq!(frame0.cameras, setup.orbit_cameras(3));
+        assert!(frame0.scene.is_some());
+        let jitter = setup.jitter_source(0.1, 2);
+        let frame0 = grtx_pipeline::FrameSource::frame(&jitter, 0);
+        assert_eq!(frame0.cameras, vec![setup.camera.clone()]);
     }
 
     #[test]

@@ -43,12 +43,32 @@
 //! let views = setup.run_views(&PipelineVariant::grtx(), &RunOptions::default(), 3);
 //! assert_eq!(views.len(), 3);
 //! ```
+//!
+//! Streams of frames run through the async frame pipeline
+//! (`grtx-pipeline`), overlapping scene update, structure build, and
+//! rendering across frames — bit-identical to per-frame batches at any
+//! pipeline depth:
+//!
+//! ```
+//! use grtx::{PipelineVariant, RunOptions, SceneSetup};
+//! use grtx_scene::SceneKind;
+//!
+//! let setup = SceneSetup::evaluation(SceneKind::Train, 2000, 32, 42);
+//! let source = setup.orbit_source(2, 0.3);
+//! let frames = setup.run_stream(&source, 3, &PipelineVariant::grtx(), &RunOptions::default(), 3);
+//! assert_eq!(frames.len(), 3);
+//! assert!(frames[0].rebuilt && !frames[1].rebuilt);
+//! ```
 
 pub mod experiment;
 
-pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup};
+pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup, StreamFrame};
 
 pub use grtx_bvh::{format_bytes, AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+pub use grtx_pipeline::{
+    run_sequential, run_stream, FrameResult, FrameSource, FrameSpec, JitterSource, OrbitSource,
+    StreamConfig,
+};
 pub use grtx_render::{
     render_rasterized, Image, RenderConfig, RenderEngine, RenderReport, TraceMode, TraceParams,
 };

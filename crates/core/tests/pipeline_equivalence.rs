@@ -1,0 +1,241 @@
+//! The frame pipeline's end-to-end contract: every frame coming out of
+//! `SceneSetup::run_stream` is bit-identical — images, cycles, all
+//! statistics, structure accounting — to running `SceneSetup::run_batch`
+//! sequentially per frame, across pipeline depths {1, 2, 3}, shards
+//! {1, 4}, and threads {1, 4}, with results delivered in strict frame
+//! order.
+
+use grtx::{ExperimentResult, FrameSource, PipelineVariant, RunOptions, SceneSetup, StreamFrame};
+use grtx_scene::SceneKind;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn tiny_setup() -> SceneSetup {
+    SceneSetup::evaluation(SceneKind::Room, 2000, 24, 11)
+}
+
+/// The sequential oracle: one `run_batch` per frame, resolving the
+/// source's scene chain by hand.
+fn sequential_frames(
+    setup: &SceneSetup,
+    source: &dyn FrameSource,
+    frames: usize,
+    variant: &PipelineVariant,
+    options: &RunOptions,
+) -> Vec<Vec<ExperimentResult>> {
+    let mut scene: Option<Arc<grtx_scene::GaussianScene>> = None;
+    (0..frames)
+        .map(|n| {
+            let spec = source.frame(n);
+            if let Some(s) = spec.scene {
+                scene = Some(s);
+            }
+            let frame_scene = scene.clone().expect("frame 0 supplies a scene");
+            setup
+                .with_scene((*frame_scene).clone())
+                .run_batch(variant, options, &spec.cameras)
+        })
+        .collect()
+}
+
+fn assert_stream_matches(label: &str, stream: &[StreamFrame], oracle: &[Vec<ExperimentResult>]) {
+    assert_eq!(stream.len(), oracle.len(), "{label}: frame count");
+    for (n, (frame, expected)) in stream.iter().zip(oracle).enumerate() {
+        let tag = format!("{label}, frame {n}");
+        assert_eq!(frame.index, n, "{tag}: strict frame order");
+        assert_eq!(frame.results.len(), expected.len(), "{tag}: view count");
+        for (view, (got, want)) in frame.results.iter().zip(expected).enumerate() {
+            let tag = format!("{tag}, view {view}");
+            assert_eq!(
+                got.report.image.pixels(),
+                want.report.image.pixels(),
+                "{tag}: image"
+            );
+            assert_eq!(got.report.cycles, want.report.cycles, "{tag}: cycles");
+            assert_eq!(got.report.stats, want.report.stats, "{tag}: stats");
+            assert_eq!(got.report.l2_accesses, want.report.l2_accesses, "{tag}: L2");
+            assert_eq!(
+                got.report.dram_accesses, want.report.dram_accesses,
+                "{tag}: DRAM"
+            );
+            assert_eq!(
+                got.report.footprint_bytes, want.report.footprint_bytes,
+                "{tag}: footprint"
+            );
+            assert_eq!(
+                got.report.secondary, want.report.secondary,
+                "{tag}: secondary"
+            );
+            assert!(
+                (got.report.l1_hit_rate - want.report.l1_hit_rate).abs() < 1e-12,
+                "{tag}: L1 hit rate"
+            );
+            assert_eq!(got.size, want.size, "{tag}: size report");
+            assert_eq!(got.height, want.height, "{tag}: height");
+            assert!(
+                (got.scale_factor - want.scale_factor).abs() < 1e-12,
+                "{tag}: scale factor"
+            );
+            // Sharded accounting matches on every deterministic field
+            // (build-phase wall-clock seconds are exempt by contract).
+            match (&got.sharding, &want.sharding) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    assert_eq!(g.shard_count, w.shard_count, "{tag}: shard count");
+                    assert_eq!(g.shard_sizes, w.shard_sizes, "{tag}: shard sizes");
+                    assert_eq!(g.directory, w.directory, "{tag}: directory");
+                }
+                _ => panic!("{tag}: sharding presence differs"),
+            }
+        }
+    }
+}
+
+/// An orbiting-camera stream (one rebuild, then pure reuse) is
+/// bit-identical to sequential per-frame batches across the whole
+/// depth × shards × threads grid.
+#[test]
+fn orbit_stream_matches_sequential_batches() {
+    let setup = tiny_setup();
+    let variant = PipelineVariant::grtx();
+    let source = setup.orbit_source(2, 0.4);
+    const FRAMES: usize = 3;
+    for shards in [1usize, 4] {
+        let oracle_options = RunOptions {
+            k: 8,
+            shards,
+            threads: 1,
+            ..Default::default()
+        };
+        let oracle = sequential_frames(&setup, &source, FRAMES, &variant, &oracle_options);
+        for depth in [1usize, 2, 3] {
+            for threads in [1usize, 4] {
+                let options = RunOptions {
+                    k: 8,
+                    shards,
+                    threads,
+                    ..Default::default()
+                };
+                let stream = setup.run_stream(&source, FRAMES, &variant, &options, depth);
+                assert_stream_matches(
+                    &format!("orbit, depth {depth}, shards {shards}, threads {threads}"),
+                    &stream,
+                    &oracle,
+                );
+            }
+        }
+    }
+}
+
+/// An animated-scene stream (period-2 jitter: rebuild, reuse, rebuild…)
+/// matches the sequential oracle too — the rebuild-skip is invisible in
+/// the results.
+#[test]
+fn jitter_stream_matches_sequential_batches() {
+    let setup = tiny_setup();
+    let variant = PipelineVariant::grtx_sw();
+    let source = setup.jitter_source(0.05, 2);
+    const FRAMES: usize = 4;
+    let options = RunOptions {
+        k: 8,
+        shards: 4,
+        threads: 4,
+        ..Default::default()
+    };
+    let oracle = sequential_frames(&setup, &source, FRAMES, &variant, &options);
+    for depth in [1usize, 3] {
+        let stream = setup.run_stream(&source, FRAMES, &variant, &options, depth);
+        assert_stream_matches(&format!("jitter, depth {depth}"), &stream, &oracle);
+        let rebuilds: Vec<bool> = stream.iter().map(|f| f.rebuilt).collect();
+        assert_eq!(rebuilds, [true, false, true, false], "depth {depth}");
+    }
+}
+
+/// Effect objects (secondary rays) ride through the pipeline unchanged.
+#[test]
+fn stream_with_effects_matches_sequential_batches() {
+    let setup = tiny_setup();
+    let variant = PipelineVariant::grtx();
+    let source = setup.orbit_source(1, 0.5);
+    let options = RunOptions {
+        k: 8,
+        effects_seed: Some(5),
+        threads: 2,
+        ..Default::default()
+    };
+    let oracle = sequential_frames(&setup, &source, 2, &variant, &options);
+    let stream = setup.run_stream(&source, 2, &variant, &options, 2);
+    assert_stream_matches("effects", &stream, &oracle);
+}
+
+/// Frame 0 of an orbit stream is exactly a `run_views` sweep — the
+/// stream entry point strictly generalizes the batched one.
+#[test]
+fn orbit_stream_frame_zero_is_run_views() {
+    let setup = tiny_setup();
+    let variant = PipelineVariant::grtx();
+    let options = RunOptions {
+        k: 8,
+        ..Default::default()
+    };
+    let views = setup.run_views(&variant, &options, 2);
+    let stream = setup.run_stream(&setup.orbit_source(2, 0.7), 1, &variant, &options, 3);
+    assert_eq!(stream.len(), 1);
+    for (got, want) in stream[0].results.iter().zip(&views) {
+        assert_eq!(got.report.image.pixels(), want.report.image.pixels());
+        assert_eq!(got.report.cycles, want.report.cycles);
+        assert_eq!(got.report.stats, want.report.stats);
+    }
+}
+
+/// Wall-clock: a depth-2 pipeline over 4 frames must beat sequential
+/// per-frame runs at 4 threads — the overlap hides each frame's serial
+/// scene-update and build phases behind the previous frame's render.
+///
+/// Wall-clock assertions are too noisy for shared CI runners, so this
+/// only arms itself on dedicated hardware: set `GRTX_PERF=1` with ≥ 4
+/// cores available (both conditions are checked, with a note when
+/// skipping).
+#[test]
+fn depth_two_pipeline_beats_sequential_frames() {
+    if std::env::var("GRTX_PERF").is_err() {
+        eprintln!(
+            "skipping pipeline speedup assertion: set GRTX_PERF=1 on dedicated >=4-core hardware"
+        );
+        return;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if hw < 4 {
+        eprintln!("skipping pipeline speedup assertion: needs >= 4 cores, host has {hw}");
+        return;
+    }
+    // A rebuild-every-frame animated scene: the workload whose update +
+    // build stages are worth overlapping with rendering.
+    let setup = SceneSetup::evaluation(SceneKind::Train, 400, 64, 11);
+    let variant = PipelineVariant::grtx();
+    let options = RunOptions {
+        threads: 4,
+        shards: 4,
+        ..Default::default()
+    };
+    let source = setup.jitter_source(0.05, 1);
+    const FRAMES: usize = 4;
+    // Warm caches/allocator, then best-of-two to damp scheduler noise.
+    let mut pipe_s = f64::INFINITY;
+    let mut seq_s = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let frames = setup.run_stream(&source, FRAMES, &variant, &options, 2);
+        pipe_s = pipe_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(frames.len(), FRAMES);
+
+        let start = Instant::now();
+        let frames = setup.run_stream(&source, FRAMES, &variant, &options, 1);
+        seq_s = seq_s.min(start.elapsed().as_secs_f64());
+        assert_eq!(frames.len(), FRAMES);
+    }
+    assert!(
+        pipe_s < seq_s,
+        "depth-2 pipeline must beat sequential frames ({pipe_s:.3}s vs {seq_s:.3}s)"
+    );
+}

@@ -1,0 +1,34 @@
+//! Frame-stream pipeline: overlapped scene update, acceleration-structure
+//! rebuild, and batched rendering.
+//!
+//! The paper's workload is not one frame — it is *streams* of frames
+//! (animated scenes, orbiting cameras) in which scene generation, BVH
+//! construction, and ray-traced rendering each occupy a different part
+//! of the machine. This crate keeps all three busy at once:
+//!
+//! * [`FrameSource`] describes the stream — per-frame scene mutation
+//!   (or reuse) and camera paths — with ready-made [`OrbitSource`]
+//!   (static scene, orbiting rig) and [`JitterSource`] (animated scene)
+//!   scenario generators;
+//! * [`run_stream`] drives a three-stage graph — **update** (produce
+//!   frame N+2's scene/cameras) → **build** (frame N+1's sharded
+//!   structure, reusing the previous one when the scene is unchanged) →
+//!   **render** (frame N's `cameras × SMs` fragment fan-out) — over one
+//!   scoped worker pool that steals across stages, with bounded
+//!   double-buffered stage handoffs;
+//! * [`run_sequential`] is the one-frame-at-a-time proof anchor
+//!   ([`StreamConfig::depth`] ≤ 1 runs it directly).
+//!
+//! # Determinism contract
+//!
+//! Frames come back as [`FrameResult`]s in strict frame order, and every
+//! frame's images, cycles, and statistics are **bit-identical** to
+//! running the frames sequentially — at any pipeline depth, any thread
+//! count, and any shard count. Overlap changes wall-clock time only.
+//! The scheduler details and the proof sketch live in [`stream`].
+
+pub mod source;
+pub mod stream;
+
+pub use source::{FrameSource, FrameSpec, JitterSource, OrbitSource};
+pub use stream::{run_sequential, run_stream, FrameResult, StreamConfig};

@@ -1,0 +1,712 @@
+//! The frame-stream scheduler: a three-stage graph (update → build →
+//! render) driven by one scoped worker pool.
+//!
+//! # Stage graph
+//!
+//! ```text
+//!  FrameSource ──► update ──► build ──► render ──► Vec<FrameResult>
+//!                 (N + 2)    (N + 1)     (N)        (frame order)
+//! ```
+//!
+//! * **update** produces a frame's scene and cameras from the
+//!   [`FrameSource`] and plans its raygen launches
+//!   ([`RenderEngine::plan_launch`] — pure, scene-independent). Updates
+//!   run in frame order, one at a time.
+//! * **build** constructs the frame's acceleration structure — sharded
+//!   in parallel through the `grtx-shard` builder when
+//!   [`StreamConfig::shards`] > 0 — or, when the source reports the
+//!   scene unchanged, reuses the previous frame's structure without
+//!   rebuilding. Builds run in frame order, one at a time.
+//! * **render** fans the frame into `cameras × SMs` closed fragments
+//!   ([`RenderEngine::simulate_fragment`]) and merges them per camera in
+//!   fixed SM order ([`RenderEngine::merge_launch`]).
+//!
+//! Stages are connected by bounded, double-buffered handoffs: `update(n)`
+//! starts only when `n ≤ builds_done + 2` (one spec feeding the build in
+//! progress, two buffered behind it), and `build(n)` only when
+//! `n ≤ merged + 1` (the structure being rendered plus one queued).
+//! A frame's slot releases its scene, structure, and launches as soon as
+//! no successor can still reuse them, so a long stream holds a bounded
+//! working set — not every frame to the end. [`StreamConfig::depth`]
+//! additionally caps the total frames in flight — depth 1 degenerates to
+//! the sequential per-frame path ([`run_sequential`]), depth 3 reaches
+//! the full update(N+2) ∥ build(N+1) ∥ render(N) overlap, and the
+//! handoff bounds cap useful depth at 5 regardless.
+//!
+//! # One pool, work stealing across stages
+//!
+//! All stage work executes on a single `std::thread::scope` worker pool.
+//! Workers claim whatever is ready, preferring downstream work (merge,
+//! then fragments, then build, then update) on the oldest frame first —
+//! so a worker that runs out of render fragments for frame N naturally
+//! steals the build of frame N+1 or the update of frame N+2, and the
+//! machine stays busy across stage boundaries.
+//!
+//! # Determinism
+//!
+//! Every task is a pure function of its frame's inputs, results land in
+//! slots keyed by frame (and fragment) index, and merges follow the
+//! engine's fixed `(camera, SM)` order — so images, cycles, and every
+//! statistic are **bit-identical** to running the frames sequentially
+//! ([`run_sequential`], and therefore to per-frame
+//! `RenderEngine::render_batch` calls) at any thread count and any
+//! pipeline depth. Only wall-clock time changes. Build timings inside
+//! [`ShardingSummary`] are wall-clock measurements and are exempt.
+
+use crate::source::FrameSource;
+use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+use grtx_render::engine::{CameraLaunch, SmOutcome};
+use grtx_render::renderer::{RenderConfig, RenderReport};
+use grtx_render::RenderEngine;
+use grtx_scene::{Camera, EffectObjects, GaussianScene};
+use grtx_shard::{ShardedAccel, ShardingSummary};
+use grtx_sim::GpuConfig;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Everything the pipeline needs to turn a [`FrameSource`] into frames:
+/// the acceleration-structure recipe, the render configuration, and the
+/// pipeline shape (depth, threads, shards).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Maximum frames in flight. `0`/`1` runs the sequential per-frame
+    /// path; `2` overlaps rendering with the next frame's update+build;
+    /// `3` (the default) reaches the full three-stage overlap. Depths
+    /// above 5 change nothing — the bounded stage handoffs (update ≤ 2
+    /// frames past completed builds, build ≤ 1 frame past the oldest
+    /// unmerged frame) admit at most five frames in flight.
+    pub depth: usize,
+    /// Worker threads for the pool (`0` = all available cores). Thread
+    /// count never changes results, only wall-clock time.
+    pub threads: usize,
+    /// Spatial shards for acceleration-structure builds (`0` = the
+    /// serial unsharded build). Shard count never changes results.
+    pub shards: usize,
+    /// Bounding proxy for Gaussians.
+    pub primitive: BoundingPrimitive,
+    /// Two-level (TLAS + shared BLAS) vs monolithic organization.
+    pub two_level: bool,
+    /// Structure byte layout.
+    pub layout: LayoutConfig,
+    /// Render configuration (trace params, cycle charging, background).
+    pub render: RenderConfig,
+    /// Simulated GPU configuration.
+    pub gpu: GpuConfig,
+    /// Effect objects applied to every frame's cameras, if any.
+    pub effects: Option<EffectObjects>,
+}
+
+impl Default for StreamConfig {
+    /// GRTX-SW structure (TLAS + shared 20-triangle BLAS), default
+    /// render/GPU configuration, full three-stage overlap on all cores.
+    fn default() -> Self {
+        Self {
+            depth: 3,
+            threads: 0,
+            shards: 0,
+            primitive: BoundingPrimitive::Mesh20,
+            two_level: true,
+            layout: LayoutConfig::default(),
+            render: RenderConfig::default(),
+            gpu: GpuConfig::default(),
+            effects: None,
+        }
+    }
+}
+
+/// One rendered frame, in frame order, with everything the sequential
+/// path would have produced.
+#[derive(Debug, Clone)]
+pub struct FrameResult {
+    /// Frame index in the stream.
+    pub index: usize,
+    /// Gaussians in this frame's scene.
+    pub gaussians: usize,
+    /// Whether this frame rebuilt the acceleration structure (`false`
+    /// when the source reported the scene unchanged and the previous
+    /// structure was reused).
+    pub rebuilt: bool,
+    /// One report per camera, in view order — each bit-identical to a
+    /// standalone render of that camera against this frame's scene.
+    pub reports: Vec<RenderReport>,
+    /// Acceleration-structure byte accounting for this frame.
+    pub size: BvhSizeReport,
+    /// Structure height.
+    pub height: u32,
+    /// Sharded-build accounting when [`StreamConfig::shards`] > 0.
+    /// Reused (cloned) from the building frame on reuse frames. Shard
+    /// sizes and the directory are deterministic; the summary's
+    /// build-phase timings and worker count are wall-clock/scheduling
+    /// metadata (overlapped builds size themselves to the pool's spare
+    /// capacity) and are exempt from the determinism contract.
+    pub sharding: Option<ShardingSummary>,
+}
+
+/// A built acceleration structure plus the accounting a frame reports.
+struct Built {
+    accel: Arc<AccelStruct>,
+    size: BvhSizeReport,
+    height: u32,
+    sharding: Option<ShardingSummary>,
+}
+
+/// Builds a frame's structure per the config — sharded in parallel on
+/// `build_threads` workers when `shards` > 0.
+fn build_structure(scene: &GaussianScene, config: &StreamConfig, build_threads: usize) -> Built {
+    if config.shards > 0 {
+        let sharded = ShardedAccel::build(
+            scene,
+            config.primitive,
+            config.two_level,
+            &config.layout,
+            config.shards,
+            build_threads,
+        );
+        let sharding = Some(sharded.summary());
+        let accel = sharded.into_accel();
+        Built {
+            size: *accel.size_report(),
+            height: accel.height(),
+            accel: Arc::new(accel),
+            sharding,
+        }
+    } else {
+        let accel = AccelStruct::build(scene, config.primitive, config.two_level, &config.layout);
+        Built {
+            size: *accel.size_report(),
+            height: accel.height(),
+            accel: Arc::new(accel),
+            sharding: None,
+        }
+    }
+}
+
+/// Runs `frames` frames of `source` through the pipeline, returning
+/// results in strict frame order.
+///
+/// Every frame's images, cycles, and statistics are **bit-identical** to
+/// [`run_sequential`] — and therefore to building and batch-rendering
+/// each frame one at a time — at any [`StreamConfig::depth`],
+/// [`StreamConfig::threads`], and [`StreamConfig::shards`].
+///
+/// # Panics
+///
+/// Panics if frame 0's [`FrameSpec`](crate::FrameSpec) carries no scene,
+/// or if the source/build/render work itself panics (worker panics are
+/// forwarded to the caller).
+pub fn run_stream(
+    source: &dyn FrameSource,
+    frames: usize,
+    config: &StreamConfig,
+) -> Vec<FrameResult> {
+    if frames == 0 {
+        return Vec::new();
+    }
+    if config.depth <= 1 {
+        return run_sequential(source, frames, config);
+    }
+    Pipeline::new(source, frames, config).run()
+}
+
+/// The sequential per-frame path: update, build, render, one frame at a
+/// time — the proof anchor the pipelined scheduler is tested against
+/// (and the `depth ≤ 1` behavior of [`run_stream`]).
+///
+/// The unchanged-scene rebuild skip applies here too, so reuse frames
+/// cost no build; skipping is invisible in the results because the
+/// serial rebuild is deterministic.
+pub fn run_sequential(
+    source: &dyn FrameSource,
+    frames: usize,
+    config: &StreamConfig,
+) -> Vec<FrameResult> {
+    let engine = RenderEngine::new(config.gpu.clone()).with_threads(config.threads);
+    let mut results = Vec::with_capacity(frames);
+    let mut scene: Option<Arc<GaussianScene>> = None;
+    let mut built: Option<Arc<Built>> = None;
+    for index in 0..frames {
+        let spec = source.frame(index);
+        let rebuilt = spec.scene.is_some();
+        if let Some(s) = spec.scene {
+            scene = Some(s);
+        }
+        let scene = scene.clone().expect("frame 0 must supply a scene");
+        if rebuilt || built.is_none() {
+            built = Some(Arc::new(build_structure(&scene, config, config.threads)));
+        }
+        let built = built.clone().expect("structure built above");
+        let reports = engine.render_batch(
+            &built.accel,
+            &scene,
+            &spec.cameras,
+            config.effects.as_ref(),
+            &config.render,
+        );
+        results.push(FrameResult {
+            index,
+            gaussians: scene.len(),
+            rebuilt,
+            reports,
+            size: built.size,
+            height: built.height,
+            sharding: built.sharding.clone(),
+        });
+    }
+    results
+}
+
+/// Per-frame pipeline slot, filled stage by stage.
+#[derive(Default)]
+struct Slot {
+    /// After update: this frame's cameras.
+    cameras: Vec<Camera>,
+    /// After update: the frame's resolved scene (the previous frame's
+    /// when the source reported it unchanged).
+    scene: Option<Arc<GaussianScene>>,
+    /// Whether the source supplied a fresh scene for this frame.
+    scene_changed: bool,
+    /// After update: planned launches, one per camera.
+    launches: Option<Arc<Vec<CameraLaunch>>>,
+    /// After build: the structure to render against.
+    built: Option<Arc<Built>>,
+    /// Fragment outcomes, camera-major (`camera × SMs + sm`).
+    outcomes: Vec<Option<SmOutcome>>,
+    /// Fragments handed to workers so far.
+    issued: usize,
+    /// Fragments completed so far.
+    fragments_done: usize,
+    /// Whether the merge task was claimed.
+    merge_claimed: bool,
+    /// Whether the merge completed.
+    merged: bool,
+}
+
+/// A claimed unit of pool work.
+enum Task {
+    /// Produce frame `n`'s spec and plan its launches.
+    Update(usize),
+    /// Build (or reuse) frame `n`'s structure. Carries the resolved
+    /// scene and, when the scene is unchanged, the structure to reuse.
+    Build {
+        frame: usize,
+        scene: Arc<GaussianScene>,
+        reuse: Option<Arc<Built>>,
+        /// Worker threads for the nested sharded build: the pool's spare
+        /// capacity at claim time, so an overlapped build soaks up idle
+        /// cores instead of oversubscribing busy ones.
+        build_threads: usize,
+    },
+    /// Simulate fragment `fragment` (camera-major) of frame `frame`.
+    Fragment {
+        frame: usize,
+        fragment: usize,
+        scene: Arc<GaussianScene>,
+        built: Arc<Built>,
+        launches: Arc<Vec<CameraLaunch>>,
+    },
+    /// Merge frame `frame`'s fragments into its result.
+    Merge {
+        frame: usize,
+        scene: Arc<GaussianScene>,
+        built: Arc<Built>,
+        launches: Arc<Vec<CameraLaunch>>,
+        cameras: Vec<Camera>,
+        outcomes: Vec<Option<SmOutcome>>,
+        scene_changed: bool,
+    },
+}
+
+/// Shared scheduler state, guarded by one mutex.
+struct State {
+    slots: Vec<Slot>,
+    results: Vec<Option<FrameResult>>,
+    /// Next frame index the update stage will claim / has completed.
+    update_claimed: usize,
+    update_done: usize,
+    /// Next frame index the build stage will claim / has completed.
+    build_claimed: usize,
+    build_done: usize,
+    /// Frames `0..merged_prefix` are fully rendered and merged.
+    merged_prefix: usize,
+    /// Frames `0..released_prefix` have dropped their slot's scene,
+    /// structure, and launches (no successor can still reuse them).
+    released_prefix: usize,
+    /// Tasks currently executing on workers (claimed, not yet
+    /// completed) — the pool's busy count, used to size nested builds.
+    running: usize,
+    /// A worker panicked; everyone else drains out.
+    poisoned: bool,
+}
+
+struct Pipeline<'a> {
+    source: &'a dyn FrameSource,
+    frames: usize,
+    config: &'a StreamConfig,
+    engine: RenderEngine,
+    sms: usize,
+    depth: usize,
+    workers: usize,
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Locks the scheduler state. Poisoning is survivable by design:
+    /// critical sections only mutate state as their final step, and a
+    /// panicking task marks the whole pipeline poisoned anyway — the
+    /// first panic is what reaches the caller, not a `PoisonError`.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn new(source: &'a dyn FrameSource, frames: usize, config: &'a StreamConfig) -> Self {
+        let engine = RenderEngine::new(config.gpu.clone()).with_threads(config.threads);
+        let sms = engine.fragments_per_launch();
+        // The shard builder's worker policy: 0 = all cores. No work-item
+        // cap — the pool's parallel width (in-flight frames × cameras ×
+        // SMs fragments plus builds and updates) isn't known until the
+        // source produces frames, and idle workers just park on the
+        // condvar.
+        let workers = grtx_shard::effective_threads(config.threads, usize::MAX);
+        Self {
+            source,
+            frames,
+            config,
+            engine,
+            sms,
+            depth: config.depth.max(1),
+            workers,
+            state: Mutex::new(State {
+                slots: (0..frames).map(|_| Slot::default()).collect(),
+                results: (0..frames).map(|_| None).collect(),
+                update_claimed: 0,
+                update_done: 0,
+                build_claimed: 0,
+                build_done: 0,
+                merged_prefix: 0,
+                released_prefix: 0,
+                running: 0,
+                poisoned: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn run(self) -> Vec<FrameResult> {
+        std::thread::scope(|scope| {
+            let this = &self;
+            let handles: Vec<_> = (0..self.workers)
+                .map(|_| scope.spawn(move || this.worker()))
+                .collect();
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    // Re-raise the first worker panic on the caller.
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+        let state = self
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state
+            .results
+            .into_iter()
+            .map(|r| r.expect("every frame merged"))
+            .collect()
+    }
+
+    /// One pool worker: claim, execute, publish, until the stream is
+    /// fully merged (or a sibling panicked).
+    fn worker(&self) {
+        loop {
+            let task = {
+                let mut state = self.lock_state();
+                loop {
+                    if state.poisoned {
+                        return;
+                    }
+                    if state.merged_prefix == self.frames {
+                        return;
+                    }
+                    match self.claim(&mut state) {
+                        Some(task) => {
+                            state.running += 1;
+                            break task;
+                        }
+                        None => {
+                            state = self
+                                .ready
+                                .wait(state)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    }
+                }
+            };
+            // Execute outside the lock; a panic poisons the pipeline so
+            // sibling workers drain out, then re-raises.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute(task);
+            }));
+            if let Err(payload) = outcome {
+                let mut state = self.lock_state();
+                state.poisoned = true;
+                drop(state);
+                self.ready.notify_all();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Claims the next ready task, preferring downstream work on the
+    /// oldest frame — this is the cross-stage steal: a worker with no
+    /// render fragments left picks up the next build or update instead.
+    fn claim(&self, state: &mut State) -> Option<Task> {
+        self.release_slots(state);
+        // 1. Merge: any built frame whose fragments all completed.
+        for n in state.merged_prefix..state.build_done {
+            let slot = &state.slots[n];
+            if slot.merged || slot.merge_claimed || slot.built.is_none() {
+                continue;
+            }
+            if slot.fragments_done == slot.outcomes.len() {
+                let slot = &mut state.slots[n];
+                slot.merge_claimed = true;
+                return Some(Task::Merge {
+                    frame: n,
+                    scene: slot.scene.clone().expect("updated frame has a scene"),
+                    built: slot.built.clone().expect("built frame has a structure"),
+                    launches: slot.launches.clone().expect("updated frame has launches"),
+                    cameras: std::mem::take(&mut slot.cameras),
+                    outcomes: std::mem::take(&mut slot.outcomes),
+                    scene_changed: slot.scene_changed,
+                });
+            }
+        }
+        // 2. Fragments: oldest built frame with unissued fragments.
+        for n in state.merged_prefix..state.build_done {
+            let slot = &state.slots[n];
+            if slot.built.is_none() || slot.issued >= slot.outcomes.len() {
+                continue;
+            }
+            let slot = &mut state.slots[n];
+            let fragment = slot.issued;
+            slot.issued += 1;
+            return Some(Task::Fragment {
+                frame: n,
+                fragment,
+                scene: slot.scene.clone().expect("updated frame has a scene"),
+                built: slot.built.clone().expect("built frame has a structure"),
+                launches: slot.launches.clone().expect("updated frame has launches"),
+            });
+        }
+        // 3. Build: in frame order, one at a time, at most one frame
+        //    ahead of the oldest unmerged frame (the structure being
+        //    rendered plus one queued — the double-buffered handoff).
+        if state.build_claimed == state.build_done
+            && state.build_claimed < state.update_done
+            && state.build_claimed - state.merged_prefix < 2
+        {
+            let n = state.build_claimed;
+            state.build_claimed += 1;
+            // Spare pool capacity for the nested sharded build: every
+            // worker not currently executing a task, plus the one this
+            // build will block while its scoped builders run.
+            let build_threads = (self.workers - self.workers.min(state.running)).max(1);
+            let scene = state.slots[n]
+                .scene
+                .clone()
+                .expect("updated frame has a scene");
+            let reuse = if state.slots[n].scene_changed {
+                None
+            } else {
+                Some(
+                    state.slots[n - 1]
+                        .built
+                        .clone()
+                        .expect("previous frame built before an unchanged frame"),
+                )
+            };
+            return Some(Task::Build {
+                frame: n,
+                scene,
+                reuse,
+                build_threads,
+            });
+        }
+        // 4. Update: in frame order, one at a time, within the depth
+        //    cap and at most two frames ahead of completed builds.
+        if state.update_claimed == state.update_done
+            && state.update_claimed < self.frames
+            && state.update_claimed - state.merged_prefix < self.depth
+            && state.update_claimed - state.build_done < 3
+        {
+            state.update_claimed += 1;
+            return Some(Task::Update(state.update_claimed - 1));
+        }
+        None
+    }
+
+    /// Drops merged frames' slot data (scene, structure, launches) once
+    /// no successor can still read it — `update(n + 1)` has completed
+    /// (it resolves an unchanged scene from slot `n`) and `build(n + 1)`
+    /// has been claimed (it copies the reuse structure at claim time) —
+    /// so a long stream's working set stays bounded by the pipeline
+    /// window instead of accumulating every frame's structure.
+    fn release_slots(&self, state: &mut State) {
+        while state.released_prefix < state.merged_prefix {
+            let n = state.released_prefix;
+            let successor_updated = n + 2 <= state.update_done || n + 1 >= self.frames;
+            let successor_build_claimed = n + 2 <= state.build_claimed || n + 1 >= self.frames;
+            if !(successor_updated && successor_build_claimed) {
+                break;
+            }
+            let slot = &mut state.slots[n];
+            slot.scene = None;
+            slot.built = None;
+            slot.launches = None;
+            state.released_prefix += 1;
+        }
+    }
+
+    /// Executes a task and publishes its result under the lock.
+    fn execute(&self, task: Task) {
+        match task {
+            Task::Update(n) => {
+                let spec = self.source.frame(n);
+                assert!(spec.scene.is_some() || n > 0, "frame 0 must supply a scene");
+                let launches: Vec<CameraLaunch> = spec
+                    .cameras
+                    .iter()
+                    .map(|camera| {
+                        self.engine
+                            .plan_launch(camera, self.config.effects.as_ref())
+                    })
+                    .collect();
+                let fragment_count = spec.cameras.len() * self.sms;
+                let mut state = self.lock_state();
+                let scene_changed = spec.scene.is_some();
+                let scene = match spec.scene {
+                    Some(scene) => scene,
+                    None => {
+                        assert!(n > 0, "frame 0 must supply a scene");
+                        state.slots[n - 1]
+                            .scene
+                            .clone()
+                            .expect("previous frame updated before this one")
+                    }
+                };
+                let slot = &mut state.slots[n];
+                slot.cameras = spec.cameras;
+                slot.scene = Some(scene);
+                slot.scene_changed = scene_changed;
+                slot.launches = Some(Arc::new(launches));
+                slot.outcomes = (0..fragment_count).map(|_| None).collect();
+                state.update_done = n + 1;
+                state.running -= 1;
+                drop(state);
+                self.ready.notify_all();
+            }
+            Task::Build {
+                frame,
+                scene,
+                reuse,
+                build_threads,
+            } => {
+                let built = match reuse {
+                    Some(built) => built,
+                    None => Arc::new(build_structure(&scene, self.config, build_threads)),
+                };
+                // Drop the task-held scene clone before publishing, so
+                // "completed" implies "no task still pins the frame".
+                drop(scene);
+                let mut state = self.lock_state();
+                state.running -= 1;
+                state.slots[frame].built = Some(built);
+                state.build_done = frame + 1;
+                drop(state);
+                self.ready.notify_all();
+            }
+            Task::Fragment {
+                frame,
+                fragment,
+                scene,
+                built,
+                launches,
+            } => {
+                let camera = fragment / self.sms;
+                let sm = fragment % self.sms;
+                let outcome = self.engine.simulate_fragment(
+                    &built.accel,
+                    &scene,
+                    &self.config.render,
+                    &launches[camera],
+                    sm,
+                );
+                // As in the build arm: release the task's Arc clones
+                // before the completion publish.
+                drop(scene);
+                drop(built);
+                drop(launches);
+                let mut state = self.lock_state();
+                state.running -= 1;
+                let slot = &mut state.slots[frame];
+                slot.outcomes[fragment] = Some(outcome);
+                slot.fragments_done += 1;
+                drop(state);
+                self.ready.notify_all();
+            }
+            Task::Merge {
+                frame,
+                scene,
+                built,
+                launches,
+                cameras,
+                mut outcomes,
+                scene_changed,
+            } => {
+                let reports: Vec<RenderReport> = cameras
+                    .iter()
+                    .enumerate()
+                    .map(|(cam, camera)| {
+                        let sm_outcomes: Vec<SmOutcome> = outcomes
+                            [cam * self.sms..(cam + 1) * self.sms]
+                            .iter_mut()
+                            .map(|o| o.take().expect("every fragment completed before merge"))
+                            .collect();
+                        self.engine.merge_launch(
+                            &launches[cam],
+                            camera,
+                            &self.config.render,
+                            sm_outcomes,
+                        )
+                    })
+                    .collect();
+                let result = FrameResult {
+                    index: frame,
+                    gaussians: scene.len(),
+                    rebuilt: scene_changed,
+                    reports,
+                    size: built.size,
+                    height: built.height,
+                    sharding: built.sharding.clone(),
+                };
+                // As in the build arm: release the task's Arc clones
+                // before the completion publish.
+                drop(scene);
+                drop(built);
+                drop(launches);
+                let mut state = self.lock_state();
+                state.running -= 1;
+                state.results[frame] = Some(result);
+                state.slots[frame].merged = true;
+                while state.merged_prefix < self.frames && state.slots[state.merged_prefix].merged {
+                    state.merged_prefix += 1;
+                }
+                drop(state);
+                self.ready.notify_all();
+            }
+        }
+    }
+}

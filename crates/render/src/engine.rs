@@ -30,12 +30,25 @@
 //! After the fan-out, per-fragment state is merged in fixed SM order
 //! (miden-style fragment replay): [`grtx_sim::SimStats`] counters sum (peaks take
 //! the max), memory-traffic counters sum with the touched-line footprint
-//! unioned, per-warp `(compute, stall)` times land in one camera-indexed
-//! vector (sliced by [`WarpSchedule::launch_warp_bases`]) that the
-//! [`WarpSchedule`] makespan model reduces per camera, and blend states
-//! scatter back to their pixels. The result is **bit-identical** for
-//! `threads = 1` and `threads = N` — a property the test-suite enforces
-//! on images, cycles, and every counter.
+//! unioned, per-warp `(compute, stall)` times land in a launch-indexed
+//! vector that the [`WarpSchedule`] makespan model reduces per camera
+//! (batch-wide flat storage addresses warps with
+//! [`WarpSchedule::launch_warp_bases`]), and blend states scatter back to
+//! their pixels. The result is **bit-identical** for `threads = 1` and
+//! `threads = N` — a property the test-suite enforces on images, cycles,
+//! and every counter.
+//!
+//! # Stage-level building blocks
+//!
+//! External drivers (the `grtx-pipeline` frame-stream pipeline) need the
+//! same three phases as individually schedulable units of work, so the
+//! engine exposes them: [`RenderEngine::plan_launch`] (pure, per camera),
+//! [`RenderEngine::simulate_fragment`] (one closed `(camera, SM)`
+//! fragment), and [`RenderEngine::merge_launch`] (fixed-SM-order merge of
+//! one camera's fragments). Driving those three by hand — in any
+//! interleaving across cameras, frames, or threads — produces reports
+//! **bit-identical** to [`RenderEngine::render`], because `render_batch`
+//! itself is nothing more than that plan → fragment → merge sequence.
 
 use crate::blend::BlendState;
 use crate::image::Image;
@@ -55,10 +68,16 @@ struct Job {
     t_cut: f32,
 }
 
-/// One camera's raygen launch: its primary/secondary jobs and warp
-/// counts, in the camera-local namespace (job and warp indices both
+/// One camera's planned raygen launch: its primary/secondary jobs and
+/// warp counts, in the camera-local namespace (job and warp indices both
 /// start at 0 for every launch).
-struct CameraLaunch {
+///
+/// Produced by [`RenderEngine::plan_launch`], consumed by
+/// [`RenderEngine::simulate_fragment`] and
+/// [`RenderEngine::merge_launch`]. Planning is pure and deterministic —
+/// it depends only on the camera, the effect objects, and the warp size —
+/// so a launch may be planned once and simulated any number of times.
+pub struct CameraLaunch {
     primary_jobs: Vec<Job>,
     secondary_jobs: Vec<Job>,
     primary_warps: usize,
@@ -96,14 +115,22 @@ impl CameraLaunch {
     }
 
     /// Warps this launch issues (primary + secondary).
-    fn total_warps(&self) -> usize {
+    pub fn total_warps(&self) -> usize {
         self.primary_warps + self.secondary_warps
+    }
+
+    /// Traced jobs this launch issues (primary + secondary rays).
+    pub fn job_count(&self) -> usize {
+        self.primary_jobs.len() + self.secondary_jobs.len()
     }
 }
 
 /// Everything one `(camera, SM)` fragment produces; merged per camera
 /// in SM order afterwards. Indices are camera-local.
-struct SmOutcome {
+///
+/// Opaque to callers: produced by [`RenderEngine::simulate_fragment`],
+/// consumed (in SM order) by [`RenderEngine::merge_launch`].
+pub struct SmOutcome {
     /// The fragment's simulator (stats + memory counters).
     sim: GpuSim,
     /// `(launch-local warp index, (compute, stall))` for this SM's warps.
@@ -200,6 +227,11 @@ impl RenderEngine {
         effects: Option<&EffectObjects>,
         config: &RenderConfig,
     ) -> Vec<RenderReport> {
+        if cameras.is_empty() {
+            // An empty batch renders nothing: no planning, no worker
+            // fan-out, no reports.
+            return Vec::new();
+        }
         let warp_size = self.gpu.warp_size.max(1);
         let num_sms = self.gpu.num_sms.max(1);
         let threads = self.effective_threads_for(cameras.len());
@@ -280,54 +312,101 @@ impl RenderEngine {
             }
         });
 
-        // Merge per camera in fixed (camera, SM) order. Warp times land
-        // in one camera-indexed vector sliced by the per-launch bases.
-        let warp_counts: Vec<usize> = launches.iter().map(CameraLaunch::total_warps).collect();
-        let warp_bases = WarpSchedule::launch_warp_bases(&warp_counts);
-        let mut all_warps = vec![(0u64, 0u64); *warp_bases.last().expect("bases are non-empty")];
+        // Merge per camera in fixed (camera, SM) order — the same merge
+        // the pipeline drives through `merge_launch`. Batch-wide flat
+        // warp storage would be addressed by
+        // `WarpSchedule::launch_warp_bases`; here each camera's warps
+        // merge launch-locally, which holds identical values.
         let mut outcomes = outcomes.into_iter();
         launches
             .iter()
             .zip(cameras)
-            .enumerate()
-            .map(|(cam, (launch, camera))| {
-                let warp_slice = warp_bases[cam]..warp_bases[cam + 1];
-                let mut primary_blends = vec![BlendState::new(); launch.primary_jobs.len()];
-                let mut secondary_blends = vec![BlendState::new(); launch.secondary_jobs.len()];
-                let mut agg: Option<GpuSim> = None;
-                for outcome in outcomes
+            .map(|(launch, camera)| {
+                let mine = outcomes
                     .by_ref()
                     .take(num_sms)
-                    .map(|o| o.expect("every SM fragment ran"))
-                {
-                    for (warp, times) in &outcome.warp_times {
-                        all_warps[warp_bases[cam] + warp] = *times;
-                    }
-                    for (job, blend) in &outcome.blends {
-                        if *job < launch.primary_jobs.len() {
-                            primary_blends[*job] = *blend;
-                        } else {
-                            secondary_blends[*job - launch.primary_jobs.len()] = *blend;
-                        }
-                    }
-                    match agg.as_mut() {
-                        None => agg = Some(outcome.sim),
-                        Some(acc) => acc.absorb(&outcome.sim),
-                    }
-                }
-                let sim = agg.expect("at least one SM fragment");
-                compose_report(
-                    launch,
-                    camera,
-                    config,
-                    &schedule,
-                    &all_warps[warp_slice],
-                    &primary_blends,
-                    &secondary_blends,
-                    sim,
-                )
+                    .map(|o| o.expect("every SM fragment ran"));
+                merge_camera(launch, camera, config, &schedule, mine)
             })
             .collect()
+    }
+
+    /// Plans one camera's raygen launch: pixels partition into primary
+    /// jobs (with effect-object cut-offs) and secondary jobs, serially
+    /// and deterministically.
+    ///
+    /// Planning depends only on the camera, the effects, and this
+    /// engine's warp size — never on the scene or the acceleration
+    /// structure — so the update stage of a frame pipeline can plan
+    /// launches before the frame's structure exists.
+    pub fn plan_launch(&self, camera: &Camera, effects: Option<&EffectObjects>) -> CameraLaunch {
+        CameraLaunch::plan(camera, effects, self.gpu.warp_size.max(1))
+    }
+
+    /// Fragments a planned launch decomposes into: one per simulated SM.
+    pub fn fragments_per_launch(&self) -> usize {
+        self.gpu.num_sms.max(1)
+    }
+
+    /// Simulates fragment `sm` of a planned launch: the launch's warps
+    /// assigned to that SM, against the SM's private L1 and L2 slice,
+    /// from cold per-launch state.
+    ///
+    /// Each fragment is a closed deterministic computation — fragments
+    /// of one launch (or of many launches over many scenes) may execute
+    /// on any thread in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sm >= self.fragments_per_launch()`.
+    pub fn simulate_fragment(
+        &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        config: &RenderConfig,
+        launch: &CameraLaunch,
+        sm: usize,
+    ) -> SmOutcome {
+        assert!(
+            sm < self.fragments_per_launch(),
+            "fragment {sm} out of range: engine simulates {} SMs",
+            self.fragments_per_launch()
+        );
+        let schedule = WarpSchedule::new(&self.gpu);
+        self.run_sm_fragment(
+            sm,
+            &schedule,
+            accel,
+            scene,
+            config,
+            launch,
+            self.gpu.warp_size.max(1),
+        )
+    }
+
+    /// Merges one launch's fragment outcomes — **in SM order** — into
+    /// the camera's report.
+    ///
+    /// The result is bit-identical to [`Self::render`] of the same
+    /// camera: `render_batch` is exactly this merge applied per camera.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes.len() != self.fragments_per_launch()`.
+    pub fn merge_launch(
+        &self,
+        launch: &CameraLaunch,
+        camera: &Camera,
+        config: &RenderConfig,
+        outcomes: Vec<SmOutcome>,
+    ) -> RenderReport {
+        assert_eq!(
+            outcomes.len(),
+            self.fragments_per_launch(),
+            "merge needs exactly one outcome per SM, in SM order"
+        );
+        let schedule = WarpSchedule::new(&self.gpu);
+        merge_camera(launch, camera, config, &schedule, outcomes)
     }
 
     /// Simulates one `(camera, SM)` fragment: the launch's primary warps
@@ -382,6 +461,49 @@ impl RenderEngine {
             blends,
         }
     }
+}
+
+/// Merges one camera's fragment outcomes in the order given (callers
+/// pass SM order): warp times land at their launch-local indices, blend
+/// states at their jobs, and the per-SM simulators absorb in sequence.
+fn merge_camera(
+    launch: &CameraLaunch,
+    camera: &Camera,
+    config: &RenderConfig,
+    schedule: &WarpSchedule,
+    outcomes: impl IntoIterator<Item = SmOutcome>,
+) -> RenderReport {
+    let mut warps = vec![(0u64, 0u64); launch.total_warps()];
+    let mut primary_blends = vec![BlendState::new(); launch.primary_jobs.len()];
+    let mut secondary_blends = vec![BlendState::new(); launch.secondary_jobs.len()];
+    let mut agg: Option<GpuSim> = None;
+    for outcome in outcomes {
+        for (warp, times) in &outcome.warp_times {
+            warps[*warp] = *times;
+        }
+        for (job, blend) in &outcome.blends {
+            if *job < launch.primary_jobs.len() {
+                primary_blends[*job] = *blend;
+            } else {
+                secondary_blends[*job - launch.primary_jobs.len()] = *blend;
+            }
+        }
+        match agg.as_mut() {
+            None => agg = Some(outcome.sim),
+            Some(acc) => acc.absorb(&outcome.sim),
+        }
+    }
+    let sim = agg.expect("at least one SM fragment");
+    compose_report(
+        launch,
+        camera,
+        config,
+        schedule,
+        &warps,
+        &primary_blends,
+        &secondary_blends,
+        sim,
+    )
 }
 
 /// Composes one camera's image and report from its merged launch state.
@@ -673,6 +795,31 @@ mod tests {
         assert_eq!(standalone.image.pixels(), report.image.pixels());
         assert_eq!(standalone.cycles, report.cycles);
         assert_eq!(standalone.stats, report.stats);
+    }
+
+    /// The exposed plan → fragment → merge building blocks, driven by
+    /// hand in scrambled fragment order, reproduce `render()` exactly —
+    /// the contract the frame pipeline's render stage is built on.
+    #[test]
+    fn hand_driven_fragments_match_render() {
+        let (scene, accel, camera) = tiny_setup();
+        let config = RenderConfig::default();
+        let engine = RenderEngine::new(GpuConfig::default()).with_threads(2);
+        let launch = engine.plan_launch(&camera, None);
+        assert!(launch.total_warps() > 0);
+        assert_eq!(launch.job_count(), camera.pixel_count());
+        // Simulate fragments in reverse order; merge in SM order.
+        let mut outcomes: Vec<SmOutcome> = (0..engine.fragments_per_launch())
+            .rev()
+            .map(|sm| engine.simulate_fragment(&accel, &scene, &config, &launch, sm))
+            .collect();
+        outcomes.reverse();
+        let merged = engine.merge_launch(&launch, &camera, &config, outcomes);
+        let standalone = engine.render(&accel, &scene, &camera, None, &config);
+        assert_eq!(standalone.image.pixels(), merged.image.pixels());
+        assert_eq!(standalone.cycles, merged.cycles);
+        assert_eq!(standalone.stats, merged.stats);
+        assert_eq!(standalone.footprint_bytes, merged.footprint_bytes);
     }
 
     #[test]

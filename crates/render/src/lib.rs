@@ -32,7 +32,7 @@ pub mod renderer;
 pub mod tracer;
 
 pub use blend::{BlendState, MIN_BLEND_ALPHA};
-pub use engine::RenderEngine;
+pub use engine::{CameraLaunch, RenderEngine, SmOutcome};
 pub use image::Image;
 pub use kbuffer::{InsertOutcome, KBuffer};
 pub use raster::{render_rasterized, RasterConfig, RasterReport};

@@ -82,6 +82,39 @@ impl Camera {
         self.eye
     }
 
+    /// Cameras for a deterministic `views`-view orbit of this camera:
+    /// all views share this camera's resolution, model, orbit radius,
+    /// and height, evenly spaced around the vertical axis starting
+    /// `phase` radians past this camera's azimuth, all looking at the
+    /// scene origin. At `phase = 0`, view 0 is this camera itself.
+    ///
+    /// The single source of orbit-rig math: `SceneSetup::orbit_cameras`
+    /// sweeps (`phase = 0`) and the frame pipeline's `OrbitSource`
+    /// (`phase = step × frame`) both build their views here, which is
+    /// what makes an orbit stream's frame 0 bit-identical to the
+    /// batched sweep.
+    pub fn orbit(&self, views: usize, phase: f32) -> Vec<Camera> {
+        let radius = (self.eye.x * self.eye.x + self.eye.z * self.eye.z).sqrt();
+        let base = self.eye.z.atan2(self.eye.x);
+        (0..views)
+            .map(|v| {
+                if v == 0 && phase == 0.0 {
+                    return self.clone();
+                }
+                let angle = base + phase + std::f32::consts::TAU * v as f32 / views.max(1) as f32;
+                let orbit_eye = Vec3::new(radius * angle.cos(), self.eye.y, radius * angle.sin());
+                Camera::look_at(
+                    self.width,
+                    self.height,
+                    self.model,
+                    orbit_eye,
+                    Vec3::ZERO,
+                    Vec3::Y,
+                )
+            })
+            .collect()
+    }
+
     /// Camera-to-world rotation (columns: right, up, backward-facing
     /// forward); the rasterizer needs the world-to-camera transpose.
     pub fn basis(&self) -> Mat3 {

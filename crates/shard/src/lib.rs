@@ -32,6 +32,12 @@
 //! Shard subtrees are self-contained (contiguous node and primitive
 //! ranges), which is the foundation for incremental per-shard rebuilds,
 //! out-of-core shard residency, and distributed rendering.
+//!
+//! The async frame pipeline (`grtx-pipeline`) reuses [`ShardedAccel`]
+//! as its build stage: every rebuild frame of a stream constructs its
+//! structure through this crate's parallel builder, and the determinism
+//! guarantee above is what lets pipelined frames stay bit-identical to
+//! sequential ones at any shard count.
 
 pub mod accel;
 pub mod partition;

@@ -54,6 +54,10 @@ impl WarpSchedule {
     /// The bases only address storage — SM assignment stays per-launch
     /// ([`Self::sm_of_launch_warp`]), so the round-robin restarts at
     /// every base.
+    ///
+    /// Kept as public API for drivers that store a whole batch's warp
+    /// times flat; the render engine itself merges each launch into a
+    /// launch-local vector, which holds identical values.
     pub fn launch_warp_bases(warp_counts: &[usize]) -> Vec<usize> {
         let mut bases = Vec::with_capacity(warp_counts.len() + 1);
         let mut total = 0usize;
@@ -157,6 +161,37 @@ mod tests {
             WarpSchedule::launch_warp_bases(&[3, 0, 5]),
             vec![0, 3, 3, 8]
         );
+    }
+
+    /// A batch of empty launches still produces well-formed bases: one
+    /// per launch plus the zero total, every slice empty.
+    #[test]
+    fn zero_warp_launches_have_empty_slices() {
+        let bases = WarpSchedule::launch_warp_bases(&[0, 0, 0]);
+        assert_eq!(bases, vec![0, 0, 0, 0]);
+        for launch in 0..3 {
+            assert_eq!(bases[launch], bases[launch + 1], "launch {launch} is empty");
+        }
+        // An empty launch's makespan is zero at its own base.
+        let s = schedule();
+        assert_eq!(s.makespan_from(bases[1], &[]), 0);
+    }
+
+    /// `makespan_from` at the final base — the position one past the
+    /// batch's last warp, where `launch_warp_bases` ends — reduces an
+    /// empty tail to zero cycles at any base offset.
+    #[test]
+    fn makespan_from_the_final_base_is_zero() {
+        let s = schedule();
+        let counts = [3usize, 0, 5];
+        let bases = WarpSchedule::launch_warp_bases(&counts);
+        let total = *bases.last().unwrap();
+        assert_eq!(total, 8);
+        assert_eq!(s.makespan_from(total, &[]), 0);
+        // A single warp appended at the final base lands on the SM the
+        // round-robin prescribes for index `total`, and pays full time.
+        assert_eq!(s.makespan_from(total, &[(700, 0)]), 700);
+        assert_eq!(s.sm_of_warp(total), total % GpuConfig::default().num_sms);
     }
 
     #[test]
