@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the hot kernels: intersection tests,
-//! k-buffer insertion, BVH construction, and cache lookups.
+//! Criterion micro-benchmarks for the hot kernels: intersection tests
+//! (scalar and the 6-wide/4-wide SIMD batches), k-buffer insertion, BVH
+//! construction, node visits over a real built BVH, and cache lookups.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use grtx_bvh::builder::{build_wide_bvh, BuildPrim, BuilderConfig};
+use grtx_bvh::builder::{build_wide_bvh, BuilderConfig};
 use grtx_math::intersect::{ray_sphere_unit, ray_triangle};
+use grtx_math::simd::{ray_triangle_4, slab_test_6, SoaAabbs, Tri4};
 use grtx_math::{Aabb, Ray, Vec3};
 use grtx_render::kbuffer::KBuffer;
 use grtx_sim::Cache;
@@ -30,6 +32,100 @@ fn bench_intersections(c: &mut Criterion) {
     });
 }
 
+/// The scalar-vs-SIMD pair the acceptance criterion tracks: one wide
+/// node's six child slabs tested by the old per-child loop vs one
+/// batched `slab_test_6` call (fixtures shared with the committed
+/// `BENCH_kernels.json` baseline via `grtx_bench`).
+fn bench_slab6(c: &mut Criterion) {
+    let boxes = grtx_bench::kernel_node_boxes();
+    let soa = SoaAabbs::from_aabbs(&boxes);
+    let ray = grtx_bench::kernel_slab_ray();
+    let arr: [Aabb; 6] = boxes.try_into().unwrap();
+    c.bench_function("slab6_scalar", |b| {
+        b.iter(|| {
+            let ray = black_box(&ray);
+            let mut hits = 0u32;
+            for aabb in black_box(&arr) {
+                if aabb.intersect_ray(ray).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    let inv = ray.inv();
+    c.bench_function("slab6_simd", |b| {
+        b.iter(|| {
+            slab_test_6(black_box(&inv), black_box(&soa))
+                .mask
+                .count_ones()
+        })
+    });
+}
+
+/// Four leaf triangles: scalar loop vs one batched kernel call.
+fn bench_triangle4(c: &mut Criterion) {
+    let tris = grtx_bench::kernel_triangles();
+    let packet = Tri4::from_triangles(&tris);
+    let ray = grtx_bench::kernel_tri_ray();
+    let arr: [[Vec3; 3]; 4] = tris.try_into().unwrap();
+    c.bench_function("triangle4_scalar", |b| {
+        b.iter(|| {
+            let ray = black_box(&ray);
+            let mut hits = 0u32;
+            for [a, bb, cc] in black_box(&arr) {
+                if ray_triangle(ray, *a, *bb, *cc).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    c.bench_function("triangle4_simd", |b| {
+        b.iter(|| {
+            ray_triangle_4(black_box(&ray), black_box(&packet))
+                .mask
+                .count_ones()
+        })
+    });
+}
+
+/// Sweeps every node of a real BVH (~2k nodes over 16k grid prims) with
+/// the batched kernel vs the scalar per-child loop over an AoS copy
+/// (the pre-SIMD layout): the in-situ hot-loop comparison, including
+/// real memory traffic.
+fn bench_node_visits(c: &mut Criterion) {
+    let prims = grtx_bench::kernel_grid_prims(16 * 1024);
+    let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+    let aos = grtx_bench::aos_node_boxes(&bvh);
+    let ray = grtx_bench::kernel_visit_ray();
+    c.bench_function("node_visit_scalar", |b| {
+        b.iter(|| {
+            let ray = black_box(&ray);
+            let mut hits = 0u32;
+            for (len, boxes) in black_box(&aos) {
+                for aabb in &boxes[..*len] {
+                    if aabb.intersect_ray(ray).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        })
+    });
+    let inv = ray.inv();
+    c.bench_function("node_visit_simd", |b| {
+        b.iter(|| {
+            let inv = black_box(&inv);
+            let mut hits = 0u32;
+            for node in black_box(&bvh.nodes) {
+                hits += slab_test_6(inv, &node.bounds).mask.count_ones();
+            }
+            hits
+        })
+    });
+}
+
 fn bench_kbuffer(c: &mut Criterion) {
     c.bench_function("kbuffer_insert_k16", |b| {
         b.iter(|| {
@@ -44,16 +140,7 @@ fn bench_kbuffer(c: &mut Criterion) {
 }
 
 fn bench_builder(c: &mut Criterion) {
-    let prims: Vec<BuildPrim> = (0..4096)
-        .map(|i| {
-            let p = Vec3::new(
-                ((i * 131) % 97) as f32,
-                ((i * 17) % 89) as f32,
-                ((i * 7) % 101) as f32,
-            );
-            BuildPrim::from_aabb(Aabb::from_center_half_extent(p, Vec3::splat(0.4)))
-        })
-        .collect();
+    let prims = grtx_bench::kernel_grid_prims(4096);
     c.bench_function("bvh6_build_4k_prims", |b| {
         b.iter(|| build_wide_bvh(black_box(&prims), &BuilderConfig::default()))
     });
@@ -73,6 +160,6 @@ fn bench_cache(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_intersections, bench_kbuffer, bench_builder, bench_cache
+    targets = bench_intersections, bench_slab6, bench_triangle4, bench_node_visits, bench_kbuffer, bench_builder, bench_cache
 }
 criterion_main!(kernels);

@@ -1,0 +1,125 @@
+//! Dumps the kernel-timing baseline committed as `BENCH_kernels.json`.
+//!
+//! Times the scalar-vs-SIMD kernel pairs of `benches/kernels.rs` with a
+//! simple calibrated median-of-samples loop and prints a JSON document
+//! to stdout. Regenerate the committed baseline after kernel changes:
+//!
+//! ```text
+//! cargo run --release -p grtx-bench --example dump_kernel_baseline > BENCH_kernels.json
+//! ```
+//!
+//! Future PRs diff their numbers against the committed file to track the
+//! perf trajectory (absolute nanoseconds are machine-dependent; the
+//! speedup ratios are the comparable signal).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use grtx_bvh::builder::{build_wide_bvh, BuilderConfig};
+use grtx_math::intersect::ray_triangle;
+use grtx_math::simd::{ray_triangle_4, slab_test_6, SoaAabbs, Tri4};
+use grtx_math::{Aabb, Vec3};
+
+/// Median ns/iter over `samples` samples of `iters` iterations each.
+fn time_ns(samples: usize, iters: u64, mut f: impl FnMut() -> u32) -> f64 {
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let mut acc = 0u32;
+            for _ in 0..iters {
+                acc = acc.wrapping_add(black_box(f()));
+            }
+            black_box(acc);
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    medians.sort_by(f64::total_cmp);
+    medians[medians.len() / 2]
+}
+
+fn main() {
+    // Fixtures shared with benches/kernels.rs via grtx_bench, so the
+    // committed baseline stays comparable to the live bench numbers.
+    let boxes = grtx_bench::kernel_node_boxes();
+    let soa = SoaAabbs::from_aabbs(&boxes);
+    let slab_ray = grtx_bench::kernel_slab_ray();
+    let slab_arr: [Aabb; 6] = boxes.try_into().unwrap();
+    let inv = slab_ray.inv();
+
+    let tris = grtx_bench::kernel_triangles();
+    let packet = Tri4::from_triangles(&tris);
+    let tri_ray = grtx_bench::kernel_tri_ray();
+    let tri_arr: [[Vec3; 3]; 4] = tris.try_into().unwrap();
+
+    let prims = grtx_bench::kernel_grid_prims(16 * 1024);
+    let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+    let aos = grtx_bench::aos_node_boxes(&bvh);
+    let visit_ray = grtx_bench::kernel_visit_ray();
+    let visit_inv = visit_ray.inv();
+
+    let (samples, iters) = (21, 200_000);
+    let slab_scalar = time_ns(samples, iters, || {
+        let mut hits = 0u32;
+        for aabb in black_box(&slab_arr) {
+            hits += u32::from(aabb.intersect_ray(black_box(&slab_ray)).is_some());
+        }
+        hits
+    });
+    let slab_simd = time_ns(samples, iters, || {
+        slab_test_6(black_box(&inv), black_box(&soa))
+            .mask
+            .count_ones()
+    });
+    let tri_scalar = time_ns(samples, iters, || {
+        let mut hits = 0u32;
+        for [a, b, c] in black_box(&tri_arr) {
+            hits += u32::from(ray_triangle(black_box(&tri_ray), *a, *b, *c).is_some());
+        }
+        hits
+    });
+    let tri_simd = time_ns(samples, iters, || {
+        ray_triangle_4(black_box(&tri_ray), black_box(&packet))
+            .mask
+            .count_ones()
+    });
+    let (visit_samples, visit_iters) = (11, 500);
+    let visit_scalar = time_ns(visit_samples, visit_iters, || {
+        let mut hits = 0u32;
+        for (len, b) in black_box(&aos) {
+            for aabb in &b[..*len] {
+                hits += u32::from(aabb.intersect_ray(black_box(&visit_ray)).is_some());
+            }
+        }
+        hits
+    });
+    let visit_simd = time_ns(visit_samples, visit_iters, || {
+        let mut hits = 0u32;
+        for node in black_box(&bvh.nodes) {
+            hits += slab_test_6(black_box(&visit_inv), &node.bounds)
+                .mask
+                .count_ones();
+        }
+        hits
+    });
+
+    println!("{{");
+    println!("  \"bench\": \"kernels\",");
+    println!("  \"units\": \"ns_per_iter\",");
+    println!("  \"node_count\": {},", bvh.node_count());
+    println!("  \"arch\": \"{}\",", std::env::consts::ARCH);
+    println!("  \"results\": {{");
+    let mut rows = Vec::new();
+    for (name, scalar, simd) in [
+        ("slab6", slab_scalar, slab_simd),
+        ("triangle4", tri_scalar, tri_simd),
+        ("node_visit", visit_scalar, visit_simd),
+    ] {
+        rows.push(format!(
+            "    \"{name}_scalar\": {scalar:.1},\n    \"{name}_simd\": {simd:.1},\n    \"{name}_speedup\": {:.2}",
+            scalar / simd
+        ));
+    }
+    println!("{}", rows.join(",\n"));
+    println!("  }}");
+    println!("}}");
+}

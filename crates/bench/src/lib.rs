@@ -99,6 +99,105 @@ pub fn fig13_variants() -> [PipelineVariant; 4] {
     PipelineVariant::fig13_lineup()
 }
 
+/// Six sibling boxes as one wide node would hold them — the slab-test
+/// fixture shared by `benches/kernels.rs` and the committed
+/// `BENCH_kernels.json` baseline dump, so their numbers stay
+/// comparable.
+pub fn kernel_node_boxes() -> Vec<grtx_math::Aabb> {
+    use grtx_math::{Aabb, Vec3};
+    (0..6)
+        .map(|i| {
+            Aabb::from_center_half_extent(
+                Vec3::new((i % 3) as f32 * 1.5, (i / 3) as f32 * 1.5, i as f32 * 0.4),
+                Vec3::splat(0.8),
+            )
+        })
+        .collect()
+}
+
+/// The ray the slab-test fixture is probed with.
+pub fn kernel_slab_ray() -> grtx_math::Ray {
+    use grtx_math::{Ray, Vec3};
+    Ray::new(
+        Vec3::new(-3.0, 0.4, -2.0),
+        Vec3::new(1.0, 0.1, 0.6).normalized(),
+    )
+}
+
+/// Four leaf triangles — the batched-triangle fixture shared by the
+/// kernel bench and the baseline dump.
+pub fn kernel_triangles() -> Vec<[grtx_math::Vec3; 3]> {
+    use grtx_math::Vec3;
+    (0..4)
+        .map(|i| {
+            let base = Vec3::new(i as f32 * 0.2 - 0.3, -0.4, 1.0 + i as f32 * 0.1);
+            [
+                base,
+                base + Vec3::new(1.0, 0.1, 0.0),
+                base + Vec3::new(0.3, 1.2, 0.1),
+            ]
+        })
+        .collect()
+}
+
+/// The ray the triangle fixture is probed with.
+pub fn kernel_tri_ray() -> grtx_math::Ray {
+    use grtx_math::{Ray, Vec3};
+    Ray::new(
+        Vec3::new(0.1, 0.2, -3.0),
+        Vec3::new(0.05, 0.02, 1.0).normalized(),
+    )
+}
+
+/// The ray the node-visit sweep (and the `GRTX_PERF` speedup gate)
+/// fires through the [`kernel_grid_prims`] BVH.
+pub fn kernel_visit_ray() -> grtx_math::Ray {
+    use grtx_math::{Ray, Vec3};
+    Ray::new(
+        Vec3::new(-10.0, 40.0, 45.0),
+        Vec3::new(1.0, 0.1, 0.2).normalized(),
+    )
+}
+
+/// Pseudo-random grid of build primitives shared by the kernel benches,
+/// the committed `BENCH_kernels.json` baseline dump, and the
+/// `GRTX_PERF`-gated kernel speedup test — one definition so their
+/// numbers stay comparable.
+pub fn kernel_grid_prims(n: usize) -> Vec<grtx_bvh::BuildPrim> {
+    use grtx_math::Vec3;
+    (0..n)
+        .map(|i| {
+            let p = Vec3::new(
+                ((i * 131) % 97) as f32,
+                ((i * 17) % 89) as f32,
+                ((i * 7) % 101) as f32,
+            );
+            grtx_bvh::BuildPrim::from_aabb(grtx_math::Aabb::from_center_half_extent(
+                p,
+                Vec3::splat(0.4),
+            ))
+        })
+        .collect()
+}
+
+/// AoS copy of a wide BVH's per-node child boxes, replicating the
+/// pre-SIMD `Vec<WideChild>` layout for scalar-loop baselines.
+#[allow(clippy::type_complexity)]
+pub fn aos_node_boxes(
+    bvh: &grtx_bvh::WideBvh,
+) -> Vec<(usize, [grtx_math::Aabb; grtx_bvh::wide::MAX_WIDTH])> {
+    bvh.nodes
+        .iter()
+        .map(|n| {
+            let mut boxes = [grtx_math::Aabb::EMPTY; grtx_bvh::wide::MAX_WIDTH];
+            for (i, c) in n.children().enumerate() {
+                boxes[i] = c.aabb;
+            }
+            (n.len(), boxes)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,98 @@
+//! GRTX_PERF-gated microbench: the batched 6-wide slab kernel must beat
+//! the scalar per-child loop on a >10k-node traversal sweep.
+//!
+//! Wall-clock assertions are inherently flaky on loaded CI machines, so
+//! (like the thread-scaling tests) this only arms itself when
+//! `GRTX_PERF=1` is set; run it in release mode on dedicated hardware.
+
+use grtx_bench::{aos_node_boxes, kernel_grid_prims};
+use grtx_bvh::builder::{build_wide_bvh, BuilderConfig};
+use grtx_math::simd::slab_test_6;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[test]
+fn batched_slab_kernel_beats_scalar_loop_on_10k_nodes() {
+    if std::env::var("GRTX_PERF").is_err() {
+        eprintln!(
+            "skipping kernel speedup assertion: set GRTX_PERF=1 (release) on dedicated hardware"
+        );
+        return;
+    }
+
+    // Leaf size 1 over a 64k grid yields a deep wide BVH (>10k nodes).
+    let prims = kernel_grid_prims(64 * 1024);
+    let bvh = build_wide_bvh(
+        &prims,
+        &BuilderConfig {
+            max_leaf_size: 1,
+            ..Default::default()
+        },
+    );
+    assert!(
+        bvh.node_count() > 10_000,
+        "microbench wants >10k nodes, built {}",
+        bvh.node_count()
+    );
+
+    // AoS copy replicating the pre-SIMD per-node child layout.
+    let aos = aos_node_boxes(&bvh);
+    let ray = grtx_bench::kernel_visit_ray();
+    let inv = ray.inv();
+
+    // Best-of-N sweeps to shrug off scheduler noise.
+    let rounds = 7;
+    let scalar_ns = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            let mut hits = 0u32;
+            for (len, boxes) in black_box(&aos) {
+                for aabb in &boxes[..*len] {
+                    hits += u32::from(aabb.intersect_ray(black_box(&ray)).is_some());
+                }
+            }
+            black_box(hits);
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap();
+    let simd_ns = (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            let mut hits = 0u32;
+            for node in black_box(&bvh.nodes) {
+                hits += slab_test_6(black_box(&inv), &node.bounds).mask.count_ones();
+            }
+            black_box(hits);
+            start.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap();
+
+    // Sanity: both sweeps see the same boxes, so hit totals must agree.
+    let scalar_hits: u32 = aos
+        .iter()
+        .map(|(len, boxes)| {
+            boxes[..*len]
+                .iter()
+                .map(|a| u32::from(a.intersect_ray(&ray).is_some()))
+                .sum::<u32>()
+        })
+        .sum();
+    let simd_hits: u32 = bvh
+        .nodes
+        .iter()
+        .map(|n| slab_test_6(&inv, &n.bounds).mask.count_ones())
+        .sum();
+    assert_eq!(scalar_hits, simd_hits);
+
+    let speedup = scalar_ns as f64 / simd_ns as f64;
+    eprintln!(
+        "slab sweep over {} nodes: scalar {scalar_ns} ns, simd {simd_ns} ns, speedup {speedup:.2}x",
+        bvh.node_count()
+    );
+    assert!(
+        speedup > 1.1,
+        "batched kernel must beat the scalar loop: {speedup:.2}x"
+    );
+}

@@ -75,12 +75,10 @@ fn finish_wide(arena: &BinaryArena, root: usize, indices: Vec<u32>) -> WideBvh {
     };
     if let BinaryKind::Leaf { start, count } = arena.nodes[root].kind {
         // Degenerate single-leaf tree: wrap it in a one-child root node.
-        wide.nodes.push(WideNode {
-            children: vec![WideChild {
-                aabb: arena.nodes[root].aabb,
-                kind: ChildKind::Leaf { start, count },
-            }],
-        });
+        wide.nodes.push(WideNode::from_children(&[WideChild {
+            aabb: arena.nodes[root].aabb,
+            kind: ChildKind::Leaf { start, count },
+        }]));
         wide.height = 1;
         return wide;
     }
@@ -292,9 +290,7 @@ fn collapse(arena: &BinaryArena, root: usize, out: &mut WideBvh) -> (u32, u32) {
 
     // Reserve our node id before recursing so the root lands at index 0.
     let my_id = out.nodes.len() as u32;
-    out.nodes.push(WideNode {
-        children: Vec::with_capacity(slots.len()),
-    });
+    out.nodes.push(WideNode::default());
 
     let mut children = Vec::with_capacity(slots.len());
     let mut max_child_height = 0;
@@ -319,7 +315,7 @@ fn collapse(arena: &BinaryArena, root: usize, out: &mut WideBvh) -> (u32, u32) {
         };
         children.push(child);
     }
-    out.nodes[my_id as usize].children = children;
+    out.nodes[my_id as usize] = WideNode::from_children(&children);
     (my_id, max_child_height + 1)
 }
 
@@ -634,7 +630,7 @@ mod tests {
         let prims = grid_prims(1000);
         let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
         for n in &bvh.nodes {
-            assert!(!n.children.is_empty() && n.children.len() <= MAX_WIDTH);
+            assert!(!n.is_empty() && n.len() <= MAX_WIDTH);
         }
     }
 
@@ -669,7 +665,7 @@ mod tests {
         };
         let bvh = build_wide_bvh(&prims, &config);
         for n in &bvh.nodes {
-            for c in &n.children {
+            for c in n.children() {
                 if let ChildKind::Leaf { count, .. } = c.kind {
                     assert!(count <= 2, "leaf with {count} prims");
                 }

@@ -45,7 +45,34 @@ pub use traversal::{
 pub use two_level::TwoLevelBvh;
 pub use wide::{ChildKind, WideBvh, WideChild, WideNode};
 
+use grtx_math::simd::{ray_triangle_4, Tri4};
+use grtx_math::Ray;
 use grtx_scene::GaussianScene;
+
+/// Shared 4-wide mesh-leaf kernel: backface-culls and intersects up to
+/// 4 gathered triangle lanes against `ray`, reproducing the scalar
+/// path's exact per-lane operations (cull normal/dot first, then
+/// Möller–Trumbore). Lane `i` is `Some(t)` on a front-face hit, `None`
+/// when culled or missed. Both leaf organizations
+/// ([`MonolithicBvh::intersect_tri4`] and
+/// [`TwoLevelBvh::intersect_blas_tri4`]) route through this single
+/// bit-parity-critical sequence.
+pub(crate) fn intersect_tri_lanes(tris: &[[grtx_math::Vec3; 3]], ray: &Ray) -> [Option<f32>; 4] {
+    let mut culled = [true; 4];
+    for (i, [a, b, c]) in tris.iter().enumerate() {
+        // Backface culling, with the scalar path's exact operations.
+        let normal = (*b - *a).cross(*c - *a);
+        culled[i] = ray.direction.dot(normal) >= 0.0;
+    }
+    let hit = ray_triangle_4(ray, &Tri4::from_triangles(tris));
+    let mut out = [None; 4];
+    for (i, &was_culled) in culled.iter().enumerate().take(tris.len()) {
+        if !was_culled {
+            out[i] = hit.hit(i).map(|h| h.t);
+        }
+    }
+    out
+}
 
 /// One [`BuildPrim`] per Gaussian at the scene's bounding radius, in
 /// Gaussian-id order — the shared build input of every per-Gaussian

@@ -222,6 +222,35 @@ impl MonolithicBvh {
         }
     }
 
+    /// Batched leaf test: up to 4 consecutive proxy triangles
+    /// (`prim_order` positions `start..start + n`) against a world-space
+    /// ray in one [`grtx_math::simd::ray_triangle_4`] kernel call. Slot `i` is
+    /// bit-identical to [`Self::intersect_prim`]`(scene, start + i,
+    /// ray)`, backface culling included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaves do not hold mesh triangles or `n > 4`.
+    pub fn intersect_tri4(&self, start: u32, n: usize, ray: &Ray) -> [Option<(u32, f32)>; 4] {
+        let MonoPrimData::Triangles { verts, gaussian_of } = &self.prims else {
+            panic!("batched triangle tests require mesh proxies")
+        };
+        assert!(n <= 4, "at most 4 lanes");
+        let mut tris = [[Vec3::ZERO; 3]; 4];
+        let mut gaussians = [0u32; 4];
+        for (i, lane) in tris.iter_mut().enumerate().take(n) {
+            let prim_id = self.bvh.prim_order[start as usize + i] as usize;
+            *lane = verts[prim_id];
+            gaussians[i] = gaussian_of[prim_id];
+        }
+        let hits = crate::intersect_tri_lanes(&tris[..n], ray);
+        let mut out = [None; 4];
+        for i in 0..n {
+            out[i] = hits[i].map(|t| (gaussians[i], t));
+        }
+        out
+    }
+
     /// Byte address of node `id`.
     pub fn node_addr(&self, id: u32) -> u64 {
         self.node_base + id as u64 * self.node_stride

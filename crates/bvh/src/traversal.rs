@@ -26,7 +26,8 @@ use crate::monolithic::MonolithicBvh;
 use crate::two_level::{SharedBlas, TwoLevelBvh};
 use crate::wide::{ChildKind, WideBvh};
 use crate::AccelStruct;
-use grtx_math::{ray::Interval, Ray};
+use grtx_math::simd::slab_test_6;
+use grtx_math::{ray::Interval, Ray, RayInv};
 use grtx_scene::GaussianScene;
 
 /// What kind of memory a fetch touched (drives Fig. 7's internal/leaf
@@ -232,6 +233,9 @@ pub fn trace_round(
         accel,
         scene,
         ray,
+        // The slab-test view (origin + reciprocal directions) is derived
+        // once per ray here, never per box test.
+        ray_inv: ray.inv(),
         interval: Interval::new(t_min, f32::INFINITY),
         observer,
         any_hit,
@@ -270,6 +274,7 @@ struct TraceCtx<'a> {
     accel: &'a AccelStruct,
     scene: &'a GaussianScene,
     ray: &'a Ray,
+    ray_inv: RayInv,
     interval: Interval,
     observer: &'a mut dyn TraversalObserver,
     any_hit: &'a mut dyn FnMut(u32, f32) -> AnyHitVerdict,
@@ -283,7 +288,7 @@ impl<'a> TraceCtx<'a> {
     /// scene within the interval.
     fn push_root_checked(&mut self, bvh: &WideBvh, make: impl Fn(u32) -> Slot) {
         self.observer.box_tests(1);
-        if let Some((t_enter, t_exit)) = bvh.root_aabb.intersect_ray(self.ray) {
+        if let Some((t_enter, t_exit)) = bvh.root_aabb.intersect_ray_inv(&self.ray_inv) {
             if t_exit < self.interval.t_min {
                 return;
             }
@@ -405,8 +410,14 @@ impl<'a> TraceCtx<'a> {
                         count as u64 * m.prim_stride,
                         FetchKind::Prim,
                     );
-                    for pos in start..start + count {
-                        self.test_mono_prim(pos);
+                    if m.primitive.triangle_count().is_some() && count > 1 {
+                        // Mesh proxies: 4-wide batched triangle kernel
+                        // over the leaf range (bit-identical per prim).
+                        self.test_mono_prims_batched(start, count);
+                    } else {
+                        for pos in start..start + count {
+                            self.test_mono_prim(pos);
+                        }
                     }
                 }
                 Slot::MonoPrim(pos) => self.process_mono_prim(pos),
@@ -462,9 +473,9 @@ impl<'a> TraceCtx<'a> {
         }
     }
 
-    /// Fetches and expands a wide node: box-test every child, skip
-    /// behind-children, checkpoint beyond-`t_max` children, push the rest
-    /// nearest-first.
+    /// Fetches and expands a wide node: box-test every child with one
+    /// vectorized 6-wide slab call, skip behind-children, checkpoint
+    /// beyond-`t_max` children, push the rest nearest-first.
     fn visit_wide_node(
         &mut self,
         bvh: &WideBvh,
@@ -473,20 +484,27 @@ impl<'a> TraceCtx<'a> {
         make_leaf: impl Fn(u32, u32) -> Slot,
     ) {
         let node = &bvh.nodes[id as usize];
-        self.observer.box_tests(node.children.len() as u32);
+        // Charge one box test per *occupied* lane, exactly like the
+        // scalar per-child loop: sentinel padding lanes are free.
+        self.observer.box_tests(node.len() as u32);
+        // All six child slabs in one batched kernel call — the software
+        // analogue of the RT unit consuming one wide-node fetch as six
+        // parallel ray–box tests (this is the hottest loop in the
+        // simulator). Lane results are bit-identical to the scalar test.
+        let tested = slab_test_6(&self.ray_inv, &node.bounds);
         // Fixed-capacity hit list: wide nodes have at most six children,
-        // so this stays off the heap (this is the hottest loop in the
-        // simulator).
+        // so this stays off the heap.
         let mut hits: [(f32, Slot); 6] = [(0.0, Slot::MonoNode(0)); 6];
         let mut n_hits = 0;
-        for child in &node.children {
-            let Some((t_enter, t_exit)) = child.aabb.intersect_ray(self.ray) else {
+        for i in 0..node.len() {
+            if tested.mask & (1 << i) == 0 {
                 continue;
-            };
+            }
+            let (t_enter, t_exit) = (tested.t_enter[i], tested.t_exit[i]);
             if t_exit < self.interval.t_min {
                 continue; // Entirely behind what has been blended.
             }
-            let slot = match child.kind {
+            let slot = match node.kinds[i] {
                 ChildKind::Node(c) => make_node(c),
                 ChildKind::Leaf { start, count } => make_leaf(start, count),
             };
@@ -552,6 +570,27 @@ impl<'a> TraceCtx<'a> {
         }
     }
 
+    /// Runs the intersection unit over a whole mesh leaf range in 4-wide
+    /// triangle batches, routing each result in position order — the
+    /// same observer events, any-hit invocations, and checkpoint order
+    /// as the scalar per-primitive loop.
+    fn test_mono_prims_batched(&mut self, start: u32, count: u32) {
+        let m = self.mono();
+        let mut pos = start;
+        while pos < start + count {
+            let n = (start + count - pos).min(4);
+            let hits = m.intersect_tri4(pos, n as usize, self.ray);
+            for (j, hit) in hits.iter().enumerate().take(n as usize) {
+                self.observer.prim_test(PrimTestKind::HardwareTriangle);
+                self.outcome.prims_tested += 1;
+                if let Some((gaussian, t)) = *hit {
+                    self.route_prim_hit(gaussian, t, Slot::MonoPrim(pos + j as u32));
+                }
+            }
+            pos += n;
+        }
+    }
+
     /// Fetches an instance record and performs the hardware ray
     /// transform; returns the object-space ray (t-preserving).
     fn enter_instance(&mut self, two: &TwoLevelBvh, instance: u32) -> Ray {
@@ -607,6 +646,9 @@ impl<'a> TraceCtx<'a> {
         let SharedBlas::Mesh { bvh, .. } = &two.blas else {
             unreachable!("drain_blas requires a mesh BLAS")
         };
+        // One slab-test view per instance entry: the object-space ray's
+        // reciprocals serve every node of the BLAS subtree.
+        let local_inv = local.inv();
         let mut stack: Vec<(f32, BlasItem)> = init
             .into_iter()
             .map(|(t, n)| (t, BlasItem::Node(n)))
@@ -633,17 +675,20 @@ impl<'a> TraceCtx<'a> {
                     );
                     self.outcome.nodes_fetched += 1;
                     let node = &bvh.nodes[id as usize];
-                    self.observer.box_tests(node.children.len() as u32);
+                    self.observer.box_tests(node.len() as u32);
+                    // Same batched 6-wide slab kernel as the TLAS loop.
+                    let tested = slab_test_6(&local_inv, &node.bounds);
                     let mut hits: [(f32, BlasItem); 6] = [(0.0, BlasItem::Node(0)); 6];
                     let mut n_hits = 0;
-                    for child in &node.children {
-                        let Some((t_enter, t_exit)) = child.aabb.intersect_ray(local) else {
+                    for i in 0..node.len() {
+                        if tested.mask & (1 << i) == 0 {
                             continue;
-                        };
+                        }
+                        let (t_enter, t_exit) = (tested.t_enter[i], tested.t_exit[i]);
                         if t_exit < self.interval.t_min {
                             continue;
                         }
-                        let item = match child.kind {
+                        let item = match node.kinds[i] {
                             ChildKind::Node(c) => BlasItem::Node(c),
                             ChildKind::Leaf { start, count } => BlasItem::Leaf { start, count },
                         };
@@ -695,6 +740,10 @@ impl<'a> TraceCtx<'a> {
             count as u64 * two.blas_prim_stride,
             FetchKind::Prim,
         );
+        if matches!(&two.blas, SharedBlas::Mesh { .. }) && count > 1 {
+            self.process_blas_prims_batched(two, instance, local, start, count);
+            return;
+        }
         for pos in start..start + count {
             self.observer.prim_test(PrimTestKind::HardwareTriangle);
             self.outcome.prims_tested += 1;
@@ -702,6 +751,41 @@ impl<'a> TraceCtx<'a> {
                 let gaussian = two.instances[instance as usize].gaussian;
                 self.route_prim_hit(gaussian, t, Slot::BlasPrim { instance, pos });
             }
+        }
+    }
+
+    /// Runs a mesh-BLAS leaf range through the 4-wide triangle kernel,
+    /// routing each result in position order — the same observer events,
+    /// any-hit invocations, and checkpoint order as the scalar loop
+    /// (mirror of [`Self::test_mono_prims_batched`]).
+    fn process_blas_prims_batched(
+        &mut self,
+        two: &TwoLevelBvh,
+        instance: u32,
+        local: &Ray,
+        start: u32,
+        count: u32,
+    ) {
+        let mut pos = start;
+        while pos < start + count {
+            let n = (start + count - pos).min(4);
+            let hits = two.intersect_blas_tri4(pos, n as usize, local);
+            for (j, hit) in hits.iter().enumerate().take(n as usize) {
+                self.observer.prim_test(PrimTestKind::HardwareTriangle);
+                self.outcome.prims_tested += 1;
+                if let Some(t) = *hit {
+                    let gaussian = two.instances[instance as usize].gaussian;
+                    self.route_prim_hit(
+                        gaussian,
+                        t,
+                        Slot::BlasPrim {
+                            instance,
+                            pos: pos + j as u32,
+                        },
+                    );
+                }
+            }
+            pos += n;
         }
     }
 

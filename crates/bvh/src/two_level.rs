@@ -10,7 +10,7 @@ use crate::builder::{build_wide_bvh, BuildPrim, BuilderConfig};
 use crate::layout::{AddressSpace, BvhSizeReport, LayoutConfig};
 use crate::wide::WideBvh;
 use crate::BoundingPrimitive;
-use grtx_math::{intersect, Affine3, Ray};
+use grtx_math::{intersect, Affine3, Ray, Vec3};
 use grtx_scene::{GaussianScene, TemplateMesh};
 
 /// One TLAS leaf: a Gaussian instance with its object-to-world transform.
@@ -229,6 +229,31 @@ impl TwoLevelBvh {
                 intersect::ray_triangle(local_ray, a, b, c).map(|h| h.t)
             }
         }
+    }
+
+    /// Batched leaf test: up to 4 consecutive BLAS mesh triangles
+    /// (`prim_order` positions `start..start + n`) against an
+    /// *instance-local* ray in one [`grtx_math::simd::ray_triangle_4`]
+    /// kernel call — the
+    /// software analogue of the hardware ray–triangle unit consuming a
+    /// whole leaf fetch. Slot `i` is bit-identical to
+    /// [`Self::intersect_blas_prim`]`(start + i, local_ray)`, backface
+    /// culling included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BLAS is not a mesh or `n > 4`.
+    pub fn intersect_blas_tri4(&self, start: u32, n: usize, local_ray: &Ray) -> [Option<f32>; 4] {
+        let SharedBlas::Mesh { bvh, mesh } = &self.blas else {
+            panic!("batched triangle tests require a mesh BLAS")
+        };
+        assert!(n <= 4, "at most 4 lanes");
+        let mut tris = [[Vec3::ZERO; 3]; 4];
+        for (i, lane) in tris.iter_mut().enumerate().take(n) {
+            let tri = bvh.prim_order[start as usize + i] as usize;
+            *lane = mesh.triangle_vertices(tri);
+        }
+        crate::intersect_tri_lanes(&tris[..n], local_ray)
     }
 
     /// TLAS node address.

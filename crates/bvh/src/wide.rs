@@ -5,11 +5,21 @@
 //! node" (Section V-A). A wide node stores the AABBs of *all* children, so
 //! one node fetch feeds up to six ray–box tests — exactly how the RT unit
 //! consumes memory.
+//!
+//! Child bounds live in a structure-of-arrays layout ([`SoaAabbs`]:
+//! `min_x[6], min_y[6], …, max_z[6]` lanes padded with empty-box
+//! sentinels) so the traversal hot path can feed a whole node into the
+//! vectorized [`grtx_math::simd::slab_test_6`] kernel in one call, with a
+//! parallel [`ChildKind`] array saying where each occupied lane leads.
 
+use grtx_math::simd::SoaAabbs;
 use grtx_math::Aabb;
 
 /// Maximum children per node (Embree BVH-6).
 pub const MAX_WIDTH: usize = 6;
+
+// The SIMD kernel is sized for exactly one wide node per call.
+const _: () = assert!(MAX_WIDTH == grtx_math::simd::LANES);
 
 /// Reference from a node to one child.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,7 +35,12 @@ pub enum ChildKind {
     },
 }
 
-/// One child slot of a wide node: bounding box plus reference.
+/// Sentinel stored in unoccupied child-kind lanes (never dereferenced:
+/// the lane mask and child count exclude padding lanes).
+const EMPTY_KIND: ChildKind = ChildKind::Node(u32::MAX);
+
+/// One child slot of a wide node: bounding box plus reference. This is
+/// the assembly/inspection view; storage inside [`WideNode`] is SoA.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WideChild {
     /// Child bounds (tested by the parent's node fetch).
@@ -34,11 +49,71 @@ pub struct WideChild {
     pub kind: ChildKind,
 }
 
-/// An interior node holding 2..=6 children.
-#[derive(Debug, Clone, PartialEq)]
+/// An interior node holding 2..=6 children in SoA form: six bounds lanes
+/// (padded with empty sentinels) plus a parallel child-reference array.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WideNode {
-    /// The child slots (never empty for a well-formed BVH).
-    pub children: Vec<WideChild>,
+    /// SoA child bounds; lanes `len()..` hold the empty-box sentinel.
+    pub bounds: SoaAabbs,
+    /// Where each occupied lane leads; padding lanes hold a sentinel.
+    pub kinds: [ChildKind; MAX_WIDTH],
+}
+
+impl WideNode {
+    /// Packs child slots into the SoA lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_WIDTH`] children are given.
+    pub fn from_children(children: &[WideChild]) -> Self {
+        assert!(children.len() <= MAX_WIDTH, "at most {MAX_WIDTH} children");
+        let mut node = Self {
+            bounds: SoaAabbs::EMPTY,
+            kinds: [EMPTY_KIND; MAX_WIDTH],
+        };
+        for (i, child) in children.iter().enumerate() {
+            node.bounds.push(child.aabb);
+            node.kinds[i] = child.kind;
+        }
+        node
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// `true` for a node with no children (only seen mid-construction;
+    /// never in a well-formed BVH).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// The child in lane `i` as an AoS slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn child(&self, i: usize) -> WideChild {
+        WideChild {
+            aabb: self.bounds.get(i),
+            kind: self.kinds[i],
+        }
+    }
+
+    /// Iterates the occupied child slots in lane order.
+    pub fn children(&self) -> impl Iterator<Item = WideChild> + '_ {
+        (0..self.len()).map(|i| self.child(i))
+    }
+}
+
+impl Default for WideNode {
+    fn default() -> Self {
+        Self {
+            bounds: SoaAabbs::EMPTY,
+            kinds: [EMPTY_KIND; MAX_WIDTH],
+        }
+    }
 }
 
 /// A wide BVH over an abstract primitive array.
@@ -69,7 +144,7 @@ impl WideBvh {
     pub fn leaf_count(&self) -> usize {
         self.nodes
             .iter()
-            .flat_map(|n| &n.children)
+            .flat_map(|n| n.children())
             .filter(|c| matches!(c.kind, ChildKind::Leaf { .. }))
             .count()
     }
@@ -136,10 +211,10 @@ impl WideBvh {
         }
         visited[idx] = true;
         let n = &self.nodes[idx];
-        if n.children.is_empty() || n.children.len() > MAX_WIDTH {
-            return Err(format!("node {node} has {} children", n.children.len()));
+        if n.is_empty() || n.len() > MAX_WIDTH {
+            return Err(format!("node {node} has {} children", n.len()));
         }
-        for child in &n.children {
+        for child in n.children() {
             if !bound.contains_box(&child.aabb, eps) {
                 return Err(format!("child of node {node} escapes parent bounds"));
             }
@@ -164,5 +239,45 @@ impl WideBvh {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtx_math::Vec3;
+
+    #[test]
+    fn from_children_round_trips() {
+        let children = [
+            WideChild {
+                aabb: Aabb::new(Vec3::ZERO, Vec3::ONE),
+                kind: ChildKind::Node(7),
+            },
+            WideChild {
+                aabb: Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+                kind: ChildKind::Leaf { start: 4, count: 2 },
+            },
+        ];
+        let node = WideNode::from_children(&children);
+        assert_eq!(node.len(), 2);
+        assert_eq!(node.child(0), children[0]);
+        assert_eq!(node.child(1), children[1]);
+        assert_eq!(node.children().collect::<Vec<_>>(), children);
+    }
+
+    #[test]
+    fn padding_is_deterministic() {
+        // Two nodes built from equal child sets must compare equal,
+        // padding lanes included (the sharded-build equality tests
+        // compare whole structures).
+        let children = [WideChild {
+            aabb: Aabb::new(Vec3::ZERO, Vec3::ONE),
+            kind: ChildKind::Leaf { start: 0, count: 1 },
+        }];
+        assert_eq!(
+            WideNode::from_children(&children),
+            WideNode::from_children(&children)
+        );
     }
 }

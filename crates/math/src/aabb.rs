@@ -1,6 +1,6 @@
 //! Axis-aligned bounding boxes.
 
-use crate::ray::Ray;
+use crate::ray::{Ray, RayInv};
 use crate::vec::Vec3;
 
 /// An axis-aligned bounding box, the node volume of every BVH level in the
@@ -99,14 +99,30 @@ impl Aabb {
     ///
     /// Returns the `[t_enter, t_exit]` span clipped to `[0, ∞)`, or `None`
     /// if the ray misses. A ray starting inside the box reports
-    /// `t_enter = 0`.
+    /// `t_enter = 0`. Convenience wrapper over [`Aabb::intersect_ray_inv`]
+    /// using the ray's cached reciprocal directions.
     pub fn intersect_ray(&self, ray: &Ray) -> Option<(f32, f32)> {
+        self.intersect_ray_inv(&ray.inv())
+    }
+
+    /// The slab test proper, consuming the cached [`RayInv`] view so the
+    /// reciprocal directions are derived once per ray, never per test.
+    /// This is the scalar reference the vectorized
+    /// [`crate::simd::slab_test_6`] kernel matches bit-for-bit.
+    ///
+    /// The returned distances are canonicalized with `+ 0.0` so a zero
+    /// result is always `+0.0`: IEEE minNum/maxNum leave the sign of a
+    /// zero from equal-magnitude operands unspecified (LLVM picks
+    /// per-site), and traversal sorts on raw bits via `total_cmp`, so
+    /// without canonicalization scalar and vector paths could disagree
+    /// on `-0.0` vs `+0.0`.
+    pub fn intersect_ray_inv(&self, ray: &RayInv) -> Option<(f32, f32)> {
         let t0 = (self.min - ray.origin).mul_elem(ray.inv_direction);
         let t1 = (self.max - ray.origin).mul_elem(ray.inv_direction);
         let t_near = t0.min(t1);
         let t_far = t0.max(t1);
-        let t_enter = t_near.max_element().max(0.0);
-        let t_exit = t_far.min_element();
+        let t_enter = t_near.max_element().max(0.0) + 0.0;
+        let t_exit = t_far.min_element() + 0.0;
         if t_enter <= t_exit {
             Some((t_enter, t_exit))
         } else {

@@ -23,13 +23,14 @@ pub mod intersect;
 pub mod mat;
 pub mod quat;
 pub mod ray;
+pub mod simd;
 pub mod transform;
 pub mod vec;
 
 pub use aabb::Aabb;
 pub use mat::{Mat3, Mat4};
 pub use quat::Quat;
-pub use ray::Ray;
+pub use ray::{Ray, RayInv};
 pub use transform::Affine3;
 pub use vec::{Vec2, Vec3, Vec4};
 

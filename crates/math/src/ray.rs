@@ -32,6 +32,33 @@ impl Ray {
     pub fn at(&self, t: f32) -> Vec3 {
         self.origin + self.direction * t
     }
+
+    /// The cached slab-test view of this ray.
+    ///
+    /// No divisions happen here: the reciprocal directions were computed
+    /// once at construction. Every slab test — scalar
+    /// ([`crate::Aabb::intersect_ray_inv`]) and vectorized
+    /// ([`crate::simd::slab_test_6`]) — consumes this view, so `1/dir`
+    /// is derived exactly once per ray, never per box test.
+    pub fn inv(&self) -> RayInv {
+        RayInv {
+            origin: self.origin,
+            inv_direction: self.inv_direction,
+        }
+    }
+}
+
+/// The per-ray inputs of the slab-based ray–box test: origin plus cached
+/// reciprocal directions. This is what the RT unit's ray–box pipeline
+/// actually consumes — traversal computes it once per ray (and once per
+/// instance-local ray) and reuses it for every node visit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayInv {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Component-wise reciprocal of the ray direction (zero components
+    /// map to signed infinities, as the slab test expects).
+    pub inv_direction: Vec3,
 }
 
 /// The `(t_min, t_max]` traversal interval maintained by the RT core during

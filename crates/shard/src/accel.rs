@@ -453,7 +453,7 @@ fn classify_nodes(bvh: &WideBvh, ranges: &[FrontierRange]) -> (Vec<u64>, u64) {
 fn node_coverage(bvh: &WideBvh, id: u32, coverage: &mut [(u32, u32)]) -> (u32, u32) {
     let mut lo = u32::MAX;
     let mut hi = 0u32;
-    for child in &bvh.nodes[id as usize].children {
+    for child in bvh.nodes[id as usize].children() {
         let (s, e) = match child.kind {
             ChildKind::Leaf { start, count } => (start, start + count),
             ChildKind::Node(c) => node_coverage(bvh, c, coverage),
