@@ -1,11 +1,12 @@
 //! Criterion micro-benchmarks for the hot kernels: intersection tests
-//! (scalar and the 6-wide/4-wide SIMD batches), k-buffer insertion, BVH
-//! construction, node visits over a real built BVH, and cache lookups.
+//! (scalar and the 8-wide/4-wide SIMD batches), the transposed 4-ray
+//! packet kernel, k-buffer insertion, BVH construction, node visits
+//! over a real built BVH, and cache lookups.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use grtx_bvh::builder::{build_wide_bvh, BuilderConfig};
 use grtx_math::intersect::{ray_sphere_unit, ray_triangle};
-use grtx_math::simd::{ray_triangle_4, slab_test_6, SoaAabbs, Tri4};
+use grtx_math::simd::{ray_triangle_4, slab_test_8, slab_test_8x4, SoaAabbs, Tri4};
 use grtx_math::{Aabb, Ray, Vec3};
 use grtx_render::kbuffer::KBuffer;
 use grtx_sim::Cache;
@@ -32,16 +33,16 @@ fn bench_intersections(c: &mut Criterion) {
     });
 }
 
-/// The scalar-vs-SIMD pair the acceptance criterion tracks: one wide
-/// node's six child slabs tested by the old per-child loop vs one
-/// batched `slab_test_6` call (fixtures shared with the committed
+/// The scalar-vs-SIMD pair the acceptance criterion tracks: one full
+/// BVH-8 node's eight child slabs tested by the old per-child loop vs
+/// one batched `slab_test_8` call (fixtures shared with the committed
 /// `BENCH_kernels.json` baseline via `grtx_bench`).
-fn bench_slab6(c: &mut Criterion) {
+fn bench_slab8(c: &mut Criterion) {
     let boxes = grtx_bench::kernel_node_boxes();
     let soa = SoaAabbs::from_aabbs(&boxes);
     let ray = grtx_bench::kernel_slab_ray();
-    let arr: [Aabb; 6] = boxes.try_into().unwrap();
-    c.bench_function("slab6_scalar", |b| {
+    let arr: [Aabb; 8] = boxes.try_into().unwrap();
+    c.bench_function("slab8_scalar", |b| {
         b.iter(|| {
             let ray = black_box(&ray);
             let mut hits = 0u32;
@@ -54,11 +55,36 @@ fn bench_slab6(c: &mut Criterion) {
         })
     });
     let inv = ray.inv();
-    c.bench_function("slab6_simd", |b| {
+    c.bench_function("slab8_simd", |b| {
         b.iter(|| {
-            slab_test_6(black_box(&inv), black_box(&soa))
+            slab_test_8(black_box(&inv), black_box(&soa))
                 .mask
                 .count_ones()
+        })
+    });
+}
+
+/// Transposed packet kernel: four coherent rays against one wide node —
+/// four independent `slab_test_8` calls vs one `slab_test_8x4` call
+/// (the cache-miss work of one [`grtx_bvh::RayPacket4`] node test).
+fn bench_packet4(c: &mut Criterion) {
+    let boxes = grtx_bench::kernel_node_boxes();
+    let soa = SoaAabbs::from_aabbs(&boxes);
+    let rays = grtx_bench::kernel_packet_rays();
+    let invs = [rays[0].inv(), rays[1].inv(), rays[2].inv(), rays[3].inv()];
+    c.bench_function("packet4_single_ray", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for inv in black_box(&invs) {
+                hits += slab_test_8(inv, black_box(&soa)).mask.count_ones();
+            }
+            hits
+        })
+    });
+    c.bench_function("packet4_transposed", |b| {
+        b.iter(|| {
+            let masks = slab_test_8x4(black_box(&invs), black_box(&soa));
+            masks.iter().map(|m| m.mask.count_ones()).sum::<u32>()
         })
     });
 }
@@ -119,7 +145,7 @@ fn bench_node_visits(c: &mut Criterion) {
             let inv = black_box(&inv);
             let mut hits = 0u32;
             for node in black_box(&bvh.nodes) {
-                hits += slab_test_6(inv, &node.bounds).mask.count_ones();
+                hits += slab_test_8(inv, &node.bounds).mask.count_ones();
             }
             hits
         })
@@ -141,8 +167,16 @@ fn bench_kbuffer(c: &mut Criterion) {
 
 fn bench_builder(c: &mut Criterion) {
     let prims = grtx_bench::kernel_grid_prims(4096);
-    c.bench_function("bvh6_build_4k_prims", |b| {
+    c.bench_function("bvh8_build_4k_prims", |b| {
         b.iter(|| build_wide_bvh(black_box(&prims), &BuilderConfig::default()))
+    });
+    // The pre-collapse BVH-6 baseline, kept for the width comparison.
+    let cfg6 = BuilderConfig {
+        wide_width: 6,
+        ..BuilderConfig::default()
+    };
+    c.bench_function("bvh6_build_4k_prims", |b| {
+        b.iter(|| build_wide_bvh(black_box(&prims), black_box(&cfg6)))
     });
 }
 
@@ -160,6 +194,6 @@ fn bench_cache(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_intersections, bench_slab6, bench_triangle4, bench_node_visits, bench_kbuffer, bench_builder, bench_cache
+    targets = bench_intersections, bench_slab8, bench_packet4, bench_triangle4, bench_node_visits, bench_kbuffer, bench_builder, bench_cache
 }
 criterion_main!(kernels);

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use grtx_bvh::builder::{build_wide_bvh, BuilderConfig};
 use grtx_math::intersect::ray_triangle;
-use grtx_math::simd::{ray_triangle_4, slab_test_6, SoaAabbs, Tri4};
+use grtx_math::simd::{ray_triangle_4, slab_test_8, slab_test_8x4, SoaAabbs, Tri4};
 use grtx_math::{Aabb, Vec3};
 
 /// Median ns/iter over `samples` samples of `iters` iterations each.
@@ -43,8 +43,16 @@ fn main() {
     let boxes = grtx_bench::kernel_node_boxes();
     let soa = SoaAabbs::from_aabbs(&boxes);
     let slab_ray = grtx_bench::kernel_slab_ray();
-    let slab_arr: [Aabb; 6] = boxes.try_into().unwrap();
+    let slab_arr: [Aabb; 8] = boxes.try_into().unwrap();
     let inv = slab_ray.inv();
+
+    let packet_rays = grtx_bench::kernel_packet_rays();
+    let packet_invs = [
+        packet_rays[0].inv(),
+        packet_rays[1].inv(),
+        packet_rays[2].inv(),
+        packet_rays[3].inv(),
+    ];
 
     let tris = grtx_bench::kernel_triangles();
     let packet = Tri4::from_triangles(&tris);
@@ -53,6 +61,14 @@ fn main() {
 
     let prims = grtx_bench::kernel_grid_prims(16 * 1024);
     let bvh = build_wide_bvh(&prims, &BuilderConfig::default());
+    // Same primitives collapsed at the pre-BVH-8 width, for the tree
+    // shape deltas reported below (fewer, fuller nodes and a shallower
+    // tree mean fewer node fetches per root-to-leaf walk).
+    let cfg6 = BuilderConfig {
+        wide_width: 6,
+        ..BuilderConfig::default()
+    };
+    let bvh6 = build_wide_bvh(&prims, &cfg6);
     let aos = grtx_bench::aos_node_boxes(&bvh);
     let visit_ray = grtx_bench::kernel_visit_ray();
     let visit_inv = visit_ray.inv();
@@ -66,9 +82,24 @@ fn main() {
         hits
     });
     let slab_simd = time_ns(samples, iters, || {
-        slab_test_6(black_box(&inv), black_box(&soa))
+        slab_test_8(black_box(&inv), black_box(&soa))
             .mask
             .count_ones()
+    });
+    // Packet baseline: four independent single-ray kernel calls vs one
+    // transposed call — the cache-miss work of a RayPacket4 node test.
+    let packet_single = time_ns(samples, iters, || {
+        let mut hits = 0u32;
+        for r in black_box(&packet_invs) {
+            hits += slab_test_8(r, black_box(&soa)).mask.count_ones();
+        }
+        hits
+    });
+    let packet_transposed = time_ns(samples, iters, || {
+        slab_test_8x4(black_box(&packet_invs), black_box(&soa))
+            .iter()
+            .map(|m| m.mask.count_ones())
+            .sum::<u32>()
     });
     let tri_scalar = time_ns(samples, iters, || {
         let mut hits = 0u32;
@@ -95,7 +126,7 @@ fn main() {
     let visit_simd = time_ns(visit_samples, visit_iters, || {
         let mut hits = 0u32;
         for node in black_box(&bvh.nodes) {
-            hits += slab_test_6(black_box(&visit_inv), &node.bounds)
+            hits += slab_test_8(black_box(&visit_inv), &node.bounds)
                 .mask
                 .count_ones();
         }
@@ -107,10 +138,17 @@ fn main() {
     println!("  \"units\": \"ns_per_iter\",");
     println!("  \"node_count\": {},", bvh.node_count());
     println!("  \"arch\": \"{}\",", std::env::consts::ARCH);
+    println!("  \"tree_shape\": {{");
+    println!("    \"bvh8_nodes\": {},", bvh.node_count());
+    println!("    \"bvh8_height\": {},", bvh.height);
+    println!("    \"bvh6_nodes\": {},", bvh6.node_count());
+    println!("    \"bvh6_height\": {}", bvh6.height);
+    println!("  }},");
     println!("  \"results\": {{");
     let mut rows = Vec::new();
     for (name, scalar, simd) in [
-        ("slab6", slab_scalar, slab_simd),
+        ("slab8", slab_scalar, slab_simd),
+        ("packet4", packet_single, packet_transposed),
         ("triangle4", tri_scalar, tri_simd),
         ("node_visit", visit_scalar, visit_simd),
     ] {

@@ -99,16 +99,18 @@ pub fn fig13_variants() -> [PipelineVariant; 4] {
     PipelineVariant::fig13_lineup()
 }
 
-/// Six sibling boxes as one wide node would hold them — the slab-test
-/// fixture shared by `benches/kernels.rs` and the committed
+/// Eight sibling boxes as one full BVH-8 node holds them — the
+/// slab-test fixture shared by `benches/kernels.rs` and the committed
 /// `BENCH_kernels.json` baseline dump, so their numbers stay
-/// comparable.
+/// comparable. (Before the BVH-8 collapse this fixture held six boxes;
+/// `slab6_*` rows in old baselines are not directly comparable to the
+/// `slab8_*` rows dumped now.)
 pub fn kernel_node_boxes() -> Vec<grtx_math::Aabb> {
     use grtx_math::{Aabb, Vec3};
-    (0..6)
+    (0..8)
         .map(|i| {
             Aabb::from_center_half_extent(
-                Vec3::new((i % 3) as f32 * 1.5, (i / 3) as f32 * 1.5, i as f32 * 0.4),
+                Vec3::new((i % 4) as f32 * 1.5, (i / 4) as f32 * 1.5, i as f32 * 0.4),
                 Vec3::splat(0.8),
             )
         })
@@ -122,6 +124,20 @@ pub fn kernel_slab_ray() -> grtx_math::Ray {
         Vec3::new(-3.0, 0.4, -2.0),
         Vec3::new(1.0, 0.1, 0.6).normalized(),
     )
+}
+
+/// Four coherent rays (a primary-ray pixel quad) for the transposed
+/// packet kernel bench: same origin, directions fanned a few milliradians
+/// apart, exactly the shape `Camera::rays` tiles produce.
+pub fn kernel_packet_rays() -> [grtx_math::Ray; 4] {
+    use grtx_math::{Ray, Vec3};
+    let origin = Vec3::new(-3.0, 0.4, -2.0);
+    [
+        Ray::new(origin, Vec3::new(1.0, 0.1, 0.6).normalized()),
+        Ray::new(origin, Vec3::new(1.0, 0.104, 0.6).normalized()),
+        Ray::new(origin, Vec3::new(1.0, 0.1, 0.604).normalized()),
+        Ray::new(origin, Vec3::new(1.0, 0.104, 0.604).normalized()),
+    ]
 }
 
 /// Four leaf triangles — the batched-triangle fixture shared by the

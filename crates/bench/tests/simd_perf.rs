@@ -1,4 +1,4 @@
-//! GRTX_PERF-gated microbench: the batched 6-wide slab kernel must beat
+//! GRTX_PERF-gated microbench: the batched 8-wide slab kernel must beat
 //! the scalar per-child loop on a >10k-node traversal sweep.
 //!
 //! Wall-clock assertions are inherently flaky on loaded CI machines, so
@@ -7,7 +7,7 @@
 
 use grtx_bench::{aos_node_boxes, kernel_grid_prims};
 use grtx_bvh::builder::{build_wide_bvh, BuilderConfig};
-use grtx_math::simd::slab_test_6;
+use grtx_math::simd::slab_test_8;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -61,7 +61,7 @@ fn batched_slab_kernel_beats_scalar_loop_on_10k_nodes() {
             let start = Instant::now();
             let mut hits = 0u32;
             for node in black_box(&bvh.nodes) {
-                hits += slab_test_6(black_box(&inv), &node.bounds).mask.count_ones();
+                hits += slab_test_8(black_box(&inv), &node.bounds).mask.count_ones();
             }
             black_box(hits);
             start.elapsed().as_nanos()
@@ -82,7 +82,7 @@ fn batched_slab_kernel_beats_scalar_loop_on_10k_nodes() {
     let simd_hits: u32 = bvh
         .nodes
         .iter()
-        .map(|n| slab_test_6(&inv, &n.bounds).mask.count_ones())
+        .map(|n| slab_test_8(&inv, &n.bounds).mask.count_ones())
         .sum();
     assert_eq!(scalar_hits, simd_hits);
 

@@ -6,7 +6,7 @@
 //! fetches against addresses assigned here.
 //!
 //! The default constants are calibrated against Table II of the paper:
-//! with 224-byte BVH-6 nodes, 64-byte triangle records, 80-byte instance
+//! with 224-byte wide nodes, 64-byte triangle records, 80-byte instance
 //! records, and 4-primitive leaves, the reported sizes reproduce the
 //! paper's numbers to within a few percent (e.g. Truck 20-tri ≈ 3.9 GB vs
 //! the paper's 3.88 GB; Truck TLAS+20-tri ≈ 349 MB vs 345 MB; Train
@@ -15,7 +15,9 @@
 /// Byte sizes of every structure element, plus leaf-width policies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayoutConfig {
-    /// Bytes per interior BVH-6 node (six child AABBs + child references).
+    /// Bytes per interior wide node. The 224-byte default holds a full
+    /// BVH-8 node exactly: eight child AABBs (8 × 24 B) plus eight
+    /// 4-byte child references.
     pub node_bytes: u64,
     /// Bytes per triangle record in a leaf (inlined vertices + Gaussian
     /// id, Embree-style).

@@ -1,0 +1,195 @@
+//! Coherent 4-ray packets amortizing wide-node box tests.
+//!
+//! Classic packet tracing runs four rays in lockstep; that would change
+//! traversal order, observer events, and checkpoint contents — all part
+//! of this simulator's bit-identical contract. [`RayPacket4`] instead
+//! keeps every ray's traversal 100% sequential and amortizes only the
+//! *kernel work*: the first ray of a packet to touch a wide node runs
+//! one transposed [`slab_test_8x4`] call (one node load serving all four
+//! rays) and caches the four per-ray results; packet-mates touching the
+//! same node later read the cache instead of re-testing. Because
+//! `slab_test_8x4` lane `r` is bitwise-equal to a single-ray
+//! [`grtx_math::simd::slab_test_8`] call for ray `r`, the cached result
+//! is exactly what the single-ray path would have computed — traversal
+//! order, hit masks, `t` values, observer events, and checkpoints are
+//! unchanged.
+//!
+//! Slab results depend only on the ray and the box, never on the
+//! traversal interval, so cache entries stay valid across tracing
+//! rounds — a replayed round reuses node tests from round 1 for free.
+//!
+//! Packets only serve *world-space* nodes (monolithic or TLAS): BLAS
+//! traversal happens in instance-local ray space, where the four rays
+//! diverge after the transform and share nothing. A packet must also be
+//! used against a single acceleration structure, since the cache is
+//! keyed by node id.
+
+use grtx_math::simd::{slab_test_8x4, HitMask8, SoaAabbs};
+use grtx_math::{Ray, RayInv};
+
+/// Direct-mapped node-test cache entries per packet. Conflict misses
+/// just recompute; 64 entries cover the working set of one root-to-leaf
+/// wavefront with room to spare at ~17 KiB per packet.
+const CACHE_SLOTS: usize = 64;
+
+/// Key marking an empty cache slot (never a real node id: node vectors
+/// stay far below `u32::MAX`, which is also the padding-lane sentinel).
+const EMPTY_KEY: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    key: u32,
+    results: [HitMask8; 4],
+}
+
+/// Four coherent rays sharing wide-node box tests through a per-packet
+/// result cache. See the module docs for the determinism argument.
+#[derive(Debug)]
+pub struct RayPacket4 {
+    rays: [RayInv; 4],
+    cache: Vec<CacheSlot>,
+    /// Transposed kernel calls issued (cache misses).
+    kernel_calls: u64,
+    /// Node tests answered from the cache.
+    cache_hits: u64,
+}
+
+impl RayPacket4 {
+    /// Creates a packet over four rays. The slab-test views are derived
+    /// with the same [`Ray::inv`] the single-ray path uses, so lane `r`
+    /// sees bit-identical kernel inputs.
+    pub fn new(rays: [&Ray; 4]) -> Self {
+        Self {
+            rays: [rays[0].inv(), rays[1].inv(), rays[2].inv(), rays[3].inv()],
+            cache: vec![
+                CacheSlot {
+                    key: EMPTY_KEY,
+                    results: [HitMask8::default(); 4],
+                };
+                CACHE_SLOTS
+            ],
+            kernel_calls: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// The slab-test view of lane `lane` (used to assert that a packet
+    /// lane and the ray it serves agree).
+    pub fn lane_ray(&self, lane: usize) -> &RayInv {
+        &self.rays[lane]
+    }
+
+    /// Tests one wide node's child bounds for lane `lane`, serving the
+    /// result from the cache when a packet-mate already touched the
+    /// node. Bitwise-equal to `slab_test_8(self.lane_ray(lane), bounds)`.
+    pub fn node_test(&mut self, node_id: u32, bounds: &SoaAabbs, lane: usize) -> HitMask8 {
+        let slot = &mut self.cache[node_id as usize % CACHE_SLOTS];
+        if slot.key != node_id {
+            slot.key = node_id;
+            slot.results = slab_test_8x4(&self.rays, bounds);
+            self.kernel_calls += 1;
+        } else {
+            self.cache_hits += 1;
+        }
+        slot.results[lane]
+    }
+
+    /// `(transposed kernel calls, cache-served tests)` — the
+    /// amortization this packet achieved.
+    pub fn kernel_stats(&self) -> (u64, u64) {
+        (self.kernel_calls, self.cache_hits)
+    }
+}
+
+/// One lane of a packet, handed to `trace_round_packet`: the shared
+/// packet plus which of its four rays this traversal is.
+pub struct PacketLane<'a> {
+    packet: &'a mut RayPacket4,
+    lane: usize,
+}
+
+impl<'a> PacketLane<'a> {
+    /// Borrows lane `lane` of `packet`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 4`.
+    pub fn new(packet: &'a mut RayPacket4, lane: usize) -> Self {
+        assert!(lane < 4, "a packet has four lanes");
+        Self { packet, lane }
+    }
+
+    /// The slab-test view this lane serves.
+    pub fn ray(&self) -> &RayInv {
+        self.packet.lane_ray(self.lane)
+    }
+
+    /// Cache-served node test for this lane (see
+    /// [`RayPacket4::node_test`]).
+    pub fn node_test(&mut self, node_id: u32, bounds: &SoaAabbs) -> HitMask8 {
+        self.packet.node_test(node_id, bounds, self.lane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grtx_math::simd::slab_test_8;
+    use grtx_math::{Aabb, Vec3};
+
+    fn boxes() -> SoaAabbs {
+        let aabbs: Vec<Aabb> = (0..8)
+            .map(|i| {
+                let lo = Vec3::new(i as f32, -1.0, -1.0);
+                Aabb::new(lo, lo + Vec3::splat(2.0))
+            })
+            .collect();
+        SoaAabbs::from_aabbs(&aabbs)
+    }
+
+    fn fan() -> [Ray; 4] {
+        let origin = Vec3::new(-3.0, 0.0, 0.0);
+        [
+            Ray::new(origin, Vec3::new(1.0, 0.01, 0.0).normalized()),
+            Ray::new(origin, Vec3::new(1.0, -0.01, 0.02).normalized()),
+            Ray::new(origin, Vec3::new(1.0, 0.03, -0.01).normalized()),
+            Ray::new(origin, Vec3::X),
+        ]
+    }
+
+    #[test]
+    fn cached_results_match_single_ray_kernel() {
+        let rays = fan();
+        let boxes = boxes();
+        let mut packet = RayPacket4::new([&rays[0], &rays[1], &rays[2], &rays[3]]);
+        for (lane, ray) in rays.iter().enumerate() {
+            // Twice per lane: miss path and hit path must agree.
+            for _ in 0..2 {
+                let got = packet.node_test(7, &boxes, lane);
+                assert_eq!(got, slab_test_8(&ray.inv(), &boxes));
+            }
+        }
+        let (calls, hits) = packet.kernel_stats();
+        assert_eq!(calls, 1, "one transposed call serves all four lanes");
+        assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn conflicting_keys_recompute_correctly() {
+        let rays = fan();
+        let boxes = boxes();
+        let mut packet = RayPacket4::new([&rays[0], &rays[1], &rays[2], &rays[3]]);
+        // Ids 3 and 3 + CACHE_SLOTS map to the same direct-mapped slot.
+        let a = packet.node_test(3, &boxes, 0);
+        let b = packet.node_test(3 + CACHE_SLOTS as u32, &boxes, 0);
+        assert_eq!(a, slab_test_8(&rays[0].inv(), &boxes));
+        assert_eq!(b, slab_test_8(&rays[0].inv(), &boxes));
+        let (calls, _) = packet.kernel_stats();
+        assert_eq!(calls, 2, "conflicting ids each pay a kernel call");
+        // Re-touching the evicted id recomputes, still correctly.
+        assert_eq!(
+            packet.node_test(3, &boxes, 1),
+            slab_test_8(&rays[1].inv(), &boxes)
+        );
+    }
+}

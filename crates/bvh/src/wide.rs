@@ -1,24 +1,26 @@
-//! Wide (up to 6-ary) BVH node representation.
+//! Wide (up to 8-ary) BVH node representation.
 //!
-//! The paper builds its structures with "Intel Embree, specifically
-//! employing a BVH-6 configuration that supports up to six children per
-//! node" (Section V-A). A wide node stores the AABBs of *all* children, so
-//! one node fetch feeds up to six ray–box tests — exactly how the RT unit
-//! consumes memory.
+//! The paper builds its structures with Intel Embree's wide-BVH
+//! configuration (Section V-A). We use the BVH-8 variant: a wide node
+//! stores the AABBs of *all* children, so one node fetch feeds up to
+//! eight ray–box tests — exactly how the RT unit consumes memory, and
+//! exactly one AVX2 register per SoA lane array with no wasted lanes.
 //!
 //! Child bounds live in a structure-of-arrays layout ([`SoaAabbs`]:
-//! `min_x[6], min_y[6], …, max_z[6]` lanes padded with empty-box
-//! sentinels) so the traversal hot path can feed a whole node into the
-//! vectorized [`grtx_math::simd::slab_test_6`] kernel in one call, with a
+//! `min_x[8], min_y[8], …, max_z[8]` lanes, trailing lanes of
+//! narrower nodes padded with empty-box sentinels) so the traversal hot
+//! path can feed a whole node into the vectorized
+//! [`grtx_math::simd::slab_test_8`] kernel in one call, with a
 //! parallel [`ChildKind`] array saying where each occupied lane leads.
 
 use grtx_math::simd::SoaAabbs;
 use grtx_math::Aabb;
 
-/// Maximum children per node (Embree BVH-6).
-pub const MAX_WIDTH: usize = 6;
+/// Maximum children per node (Embree-style BVH-8).
+pub const MAX_WIDTH: usize = 8;
 
-// The SIMD kernel is sized for exactly one wide node per call.
+// One wide node is exactly one SIMD kernel call: every storage lane is a
+// potential child, so tree width and kernel width must stay in lockstep.
 const _: () = assert!(MAX_WIDTH == grtx_math::simd::LANES);
 
 /// Reference from a node to one child.
@@ -49,8 +51,9 @@ pub struct WideChild {
     pub kind: ChildKind,
 }
 
-/// An interior node holding 2..=6 children in SoA form: six bounds lanes
-/// (padded with empty sentinels) plus a parallel child-reference array.
+/// An interior node holding 2..=8 children in SoA form: eight bounds
+/// lanes (trailing lanes of narrower nodes padded with empty sentinels)
+/// plus a parallel child-reference array.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WideNode {
     /// SoA child bounds; lanes `len()..` hold the empty-box sentinel.

@@ -108,7 +108,7 @@ impl Aabb {
     /// The slab test proper, consuming the cached [`RayInv`] view so the
     /// reciprocal directions are derived once per ray, never per test.
     /// This is the scalar reference the vectorized
-    /// [`crate::simd::slab_test_6`] kernel matches bit-for-bit.
+    /// [`crate::simd::slab_test_8`] kernel matches bit-for-bit.
     ///
     /// The returned distances are canonicalized with `+ 0.0` so a zero
     /// result is always `+0.0`: IEEE minNum/maxNum leave the sign of a

@@ -38,7 +38,7 @@ impl Ray {
     /// No divisions happen here: the reciprocal directions were computed
     /// once at construction. Every slab test — scalar
     /// ([`crate::Aabb::intersect_ray_inv`]) and vectorized
-    /// ([`crate::simd::slab_test_6`]) — consumes this view, so `1/dir`
+    /// ([`crate::simd::slab_test_8`]) — consumes this view, so `1/dir`
     /// is derived exactly once per ray, never per box test.
     pub fn inv(&self) -> RayInv {
         RayInv {

@@ -1,9 +1,12 @@
 //! Vectorized intersection kernels for the traversal hot path.
 //!
-//! The paper's RT unit consumes one wide-node fetch as six parallel
-//! ray–box tests (Embree BVH-6, Section V-A). This module provides the
-//! software analogue: a 6-wide slab test over a structure-of-arrays
-//! child layout ([`SoaAabbs`]), plus a 4-wide batched Möller–Trumbore
+//! The paper's RT unit consumes one wide-node fetch as a batch of
+//! parallel ray–box tests (Embree-style wide BVH, Section V-A). This
+//! module provides the software analogue: an 8-wide slab test over a
+//! structure-of-arrays child layout ([`SoaAabbs`]) — one AVX2 register
+//! per lane array, every lane a real child — plus a 4-ray packet
+//! variant ([`slab_test_8x4`]) that amortizes the node's box loads
+//! across four coherent rays, and a 4-wide batched Möller–Trumbore
 //! triangle test ([`ray_triangle_4`]) for BVH leaf ranges.
 //!
 //! # Determinism contract
@@ -31,41 +34,40 @@ use crate::intersect::SurfaceHit;
 use crate::ray::{Ray, RayInv};
 use crate::vec::Vec3;
 
-/// Semantic lane count of the wide slab test: one lane per BVH-6 child.
-pub const LANES: usize = 6;
-
-/// Physical storage width: lanes are padded to 8 so one AVX2 register
-/// (or two NEON registers) covers a whole node with aligned loads.
-pub const WIDTH: usize = 8;
+/// Lane count of the wide slab test: one lane per BVH-8 child. Storage
+/// and semantics agree — one AVX2 register (or two NEON registers)
+/// covers a whole node with aligned loads, and every lane can carry a
+/// real child.
+pub const LANES: usize = 8;
 
 // ---------------------------------------------------------------------------
 // SoA AABB layout.
 
 /// Up to [`LANES`] axis-aligned boxes in structure-of-arrays layout:
-/// `min_x[.], min_y[.], …, max_z[.]` lanes, padded to [`WIDTH`] with the
+/// `min_x[.], min_y[.], …, max_z[.]` lanes, padded to [`LANES`] with the
 /// empty-box sentinel (`min = +inf, max = -inf`) so vector loads never
 /// read uninitialized memory and padding lanes can never intersect.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[repr(C, align(32))]
 pub struct SoaAabbs {
-    min_x: [f32; WIDTH],
-    min_y: [f32; WIDTH],
-    min_z: [f32; WIDTH],
-    max_x: [f32; WIDTH],
-    max_y: [f32; WIDTH],
-    max_z: [f32; WIDTH],
+    min_x: [f32; LANES],
+    min_y: [f32; LANES],
+    min_z: [f32; LANES],
+    max_x: [f32; LANES],
+    max_y: [f32; LANES],
+    max_z: [f32; LANES],
     len: u8,
 }
 
 impl SoaAabbs {
     /// No boxes: every lane holds the empty sentinel.
     pub const EMPTY: Self = Self {
-        min_x: [f32::INFINITY; WIDTH],
-        min_y: [f32::INFINITY; WIDTH],
-        min_z: [f32::INFINITY; WIDTH],
-        max_x: [f32::NEG_INFINITY; WIDTH],
-        max_y: [f32::NEG_INFINITY; WIDTH],
-        max_z: [f32::NEG_INFINITY; WIDTH],
+        min_x: [f32::INFINITY; LANES],
+        min_y: [f32::INFINITY; LANES],
+        min_z: [f32::INFINITY; LANES],
+        max_x: [f32::NEG_INFINITY; LANES],
+        max_y: [f32::NEG_INFINITY; LANES],
+        max_z: [f32::NEG_INFINITY; LANES],
         len: 0,
     };
 
@@ -135,20 +137,20 @@ impl Default for SoaAabbs {
     }
 }
 
-/// Result of one [`slab_test_6`] call: entry/exit distances for every
+/// Result of one [`slab_test_8`] call: entry/exit distances for every
 /// lane plus a hit mask. Lanes whose mask bit is clear hold garbage
 /// `t` values (miss lanes and sentinel padding).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HitMask6 {
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HitMask8 {
     /// Per-lane entry distance (clamped to `0`), valid where `mask` is set.
-    pub t_enter: [f32; WIDTH],
+    pub t_enter: [f32; LANES],
     /// Per-lane exit distance, valid where `mask` is set.
-    pub t_exit: [f32; WIDTH],
+    pub t_exit: [f32; LANES],
     /// Bit `i` set iff lane `i` is occupied and the ray hits its box.
     pub mask: u8,
 }
 
-impl HitMask6 {
+impl HitMask8 {
     /// Lane `i` as the scalar API reports it: `Some((t_enter, t_exit))`
     /// on a hit, `None` on a miss.
     pub fn hit(&self, i: usize) -> Option<(f32, f32)> {
@@ -160,16 +162,16 @@ impl HitMask6 {
     }
 }
 
-/// Six ray–box slab tests in one call — the software analogue of the RT
-/// unit consuming one wide-node fetch as six parallel box tests.
+/// Eight ray–box slab tests in one call — the software analogue of the
+/// RT unit consuming one wide-node fetch as eight parallel box tests.
 ///
 /// Lane `i` is bitwise identical to `boxes.get(i).intersect_ray(ray)`
 /// (entry/exit `t` values and hit/miss decision). Sentinel (unoccupied)
 /// lanes never set their mask bit. Dispatches to the explicit AVX2 path
 /// when the CPU supports it (NEON on aarch64), falling back to
-/// [`slab_test_6_portable`]; all paths produce identical bits.
+/// [`slab_test_8_portable`]; all paths produce identical bits.
 #[inline]
-pub fn slab_test_6(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
+pub fn slab_test_8(ray: &RayInv, boxes: &SoaAabbs) -> HitMask8 {
     #[cfg(target_arch = "x86_64")]
     {
         // Per-call detection is deliberate: the macro folds to `true`
@@ -178,18 +180,18 @@ pub fn slab_test_6(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
         // atomic load plus a perfectly-predicted branch — measurably
         // cheaper than an uninlinable function-pointer dispatch for a
         // ~10 ns kernel.
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the AVX2 feature was just detected at runtime.
-            return unsafe { x86::slab_test_6_avx2(ray, boxes) };
+        if x86::runtime_features_available() {
+            // SAFETY: the required features were just detected.
+            return unsafe { x86::slab_test_8_avx2(ray, boxes) };
         }
     }
     #[cfg(target_arch = "aarch64")]
     {
         // NEON is a mandatory feature of aarch64.
-        return neon::slab_test_6_neon(ray, boxes);
+        return neon::slab_test_8_neon(ray, boxes);
     }
     #[allow(unreachable_code)]
-    slab_test_6_portable(ray, boxes)
+    slab_test_8_portable(ray, boxes)
 }
 
 /// Portable fixed-width slab kernel (autovectorized by the compiler).
@@ -199,23 +201,43 @@ pub fn slab_test_6(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
 /// `(slab - origin) * inv_direction`, NaN-ignoring min/max, entry
 /// clamped to zero — so `0 * ±inf = NaN` lanes from axis-parallel rays
 /// resolve identically to the scalar test.
-pub fn slab_test_6_portable(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
+pub fn slab_test_8_portable(ray: &RayInv, boxes: &SoaAabbs) -> HitMask8 {
     let (ox, oy, oz) = (ray.origin.x, ray.origin.y, ray.origin.z);
     let (ix, iy, iz) = (
         ray.inv_direction.x,
         ray.inv_direction.y,
         ray.inv_direction.z,
     );
-    let mut t_enter = [0.0f32; WIDTH];
-    let mut t_exit = [0.0f32; WIDTH];
+    // Opt-in contraction: (slab - o)*i == slab*i - o*i == slab.mul_add(i, -(o*i)).
+    // Fused rounding changes bits vs the default path (and axis-parallel
+    // rays turn the precomputed -(o*i) term into NaN, which the
+    // NaN-ignoring min/max resolve to a conservative full slab span), so
+    // the `fma` feature trades the bitwise-vs-scalar contract for fewer
+    // rounding steps and is benched separately.
+    #[cfg(feature = "fma")]
+    let (nx, ny, nz) = (-(ox * ix), -(oy * iy), -(oz * iz));
+    let mut t_enter = [0.0f32; LANES];
+    let mut t_exit = [0.0f32; LANES];
     let mut mask = 0u8;
-    for i in 0..WIDTH {
-        let t0x = (boxes.min_x[i] - ox) * ix;
-        let t1x = (boxes.max_x[i] - ox) * ix;
-        let t0y = (boxes.min_y[i] - oy) * iy;
-        let t1y = (boxes.max_y[i] - oy) * iy;
-        let t0z = (boxes.min_z[i] - oz) * iz;
-        let t1z = (boxes.max_z[i] - oz) * iz;
+    for i in 0..LANES {
+        #[cfg(not(feature = "fma"))]
+        let (t0x, t1x, t0y, t1y, t0z, t1z) = (
+            (boxes.min_x[i] - ox) * ix,
+            (boxes.max_x[i] - ox) * ix,
+            (boxes.min_y[i] - oy) * iy,
+            (boxes.max_y[i] - oy) * iy,
+            (boxes.min_z[i] - oz) * iz,
+            (boxes.max_z[i] - oz) * iz,
+        );
+        #[cfg(feature = "fma")]
+        let (t0x, t1x, t0y, t1y, t0z, t1z) = (
+            boxes.min_x[i].mul_add(ix, nx),
+            boxes.max_x[i].mul_add(ix, nx),
+            boxes.min_y[i].mul_add(iy, ny),
+            boxes.max_y[i].mul_add(iy, ny),
+            boxes.min_z[i].mul_add(iz, nz),
+            boxes.max_z[i].mul_add(iz, nz),
+        );
         let near_x = t0x.min(t1x);
         let near_y = t0y.min(t1y);
         let near_z = t0z.min(t1z);
@@ -232,11 +254,59 @@ pub fn slab_test_6_portable(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
         t_exit[i] = exit;
         mask |= u8::from(enter <= exit) << i;
     }
-    HitMask6 {
+    HitMask8 {
         t_enter,
         t_exit,
         mask: mask & boxes.lane_mask(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Ray packets.
+
+/// One node's eight child slabs tested against **four coherent rays**
+/// in a single call — the ray-axis transpose of [`slab_test_8`].
+///
+/// Packet `r` of the result is bitwise identical to
+/// `slab_test_8(&rays[r], boxes)` on every input, so packet traversal
+/// can substitute per-ray kernel calls without perturbing any
+/// traversal decision. The win is bandwidth amortization: the explicit
+/// AVX2 path loads the node's six lane arrays **once** and reuses the
+/// registers for all four rays, instead of reloading them per ray.
+#[inline]
+pub fn slab_test_8x4(rays: &[RayInv; 4], boxes: &SoaAabbs) -> [HitMask8; 4] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if x86::runtime_features_available() {
+            // SAFETY: the required features were just detected.
+            return unsafe { x86::slab_test_8x4_avx2(rays, boxes) };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // NEON is a mandatory feature of aarch64. The 8-wide kernel
+        // already keeps the node in registers across its two halves;
+        // per-ray broadcast is the whole transpose here.
+        return [
+            neon::slab_test_8_neon(&rays[0], boxes),
+            neon::slab_test_8_neon(&rays[1], boxes),
+            neon::slab_test_8_neon(&rays[2], boxes),
+            neon::slab_test_8_neon(&rays[3], boxes),
+        ];
+    }
+    #[allow(unreachable_code)]
+    slab_test_8x4_portable(rays, boxes)
+}
+
+/// Portable packet kernel: the 8-wide portable slab test broadcast over
+/// the four rays. Reference the explicit path must match bitwise.
+pub fn slab_test_8x4_portable(rays: &[RayInv; 4], boxes: &SoaAabbs) -> [HitMask8; 4] {
+    [
+        slab_test_8_portable(&rays[0], boxes),
+        slab_test_8_portable(&rays[1], boxes),
+        slab_test_8_portable(&rays[2], boxes),
+        slab_test_8_portable(&rays[3], boxes),
+    ]
 }
 
 // ---------------------------------------------------------------------------
@@ -423,8 +493,25 @@ pub fn ray_triangle_4_portable(ray: &Ray, tris: &Tri4) -> Tri4Hit {
 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
-    use super::{HitMask6, Ray, RayInv, SoaAabbs, Tri4, Tri4Hit};
+    use super::{HitMask8, Ray, RayInv, SoaAabbs, Tri4, Tri4Hit};
     use std::arch::x86_64::*;
+
+    /// `true` when the CPU has every feature the explicit slab kernels
+    /// were compiled against: AVX2, plus FMA under the `fma` cargo
+    /// feature. Folds to a constant when the features are statically
+    /// enabled (`-C target-cpu=native`).
+    #[inline]
+    pub fn runtime_features_available() -> bool {
+        #[cfg(not(feature = "fma"))]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(feature = "fma")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+    }
 
     /// IEEE minNum (Rust `f32::min`): if one operand is NaN, the other
     /// is returned. This mirrors LLVM's own `fminnum` lowering exactly —
@@ -448,27 +535,80 @@ mod x86 {
         _mm256_blendv_ps(m, b, a_nan)
     }
 
-    /// AVX2 slab kernel: all 6 lanes (plus 2 sentinel lanes) in one
-    /// 8-wide register. Same operation order as the portable kernel.
+    /// One node's six lane arrays held in registers, so the packet
+    /// kernel loads them once and reuses them for all four rays.
+    #[derive(Clone, Copy)]
+    struct NodeRegs {
+        min_x: __m256,
+        min_y: __m256,
+        min_z: __m256,
+        max_x: __m256,
+        max_y: __m256,
+        max_z: __m256,
+    }
+
+    /// Loads one node's lane arrays.
     ///
     /// # Safety
     ///
     /// Callers must ensure the `avx2` target feature is available.
     #[target_feature(enable = "avx2")]
-    pub unsafe fn slab_test_6_avx2(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
+    unsafe fn load_node(boxes: &SoaAabbs) -> NodeRegs {
+        // SoaAabbs is #[repr(C, align(32))] with 32-byte lane arrays.
+        NodeRegs {
+            min_x: _mm256_load_ps(boxes.min_x.as_ptr()),
+            min_y: _mm256_load_ps(boxes.min_y.as_ptr()),
+            min_z: _mm256_load_ps(boxes.min_z.as_ptr()),
+            max_x: _mm256_load_ps(boxes.max_x.as_ptr()),
+            max_y: _mm256_load_ps(boxes.max_y.as_ptr()),
+            max_z: _mm256_load_ps(boxes.max_z.as_ptr()),
+        }
+    }
+
+    /// Slab test of one ray against preloaded node registers. Same
+    /// operation order as the portable kernel.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the `avx2` (and, under the `fma` feature,
+    /// `fma`) target features are available.
+    #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
+    #[cfg_attr(feature = "fma", target_feature(enable = "avx2,fma"))]
+    unsafe fn slab_ray(ray: &RayInv, node: &NodeRegs, lane_mask: u8) -> HitMask8 {
         let ox = _mm256_set1_ps(ray.origin.x);
         let oy = _mm256_set1_ps(ray.origin.y);
         let oz = _mm256_set1_ps(ray.origin.z);
         let ix = _mm256_set1_ps(ray.inv_direction.x);
         let iy = _mm256_set1_ps(ray.inv_direction.y);
         let iz = _mm256_set1_ps(ray.inv_direction.z);
-        // SoaAabbs is #[repr(C, align(32))] with 32-byte lane arrays.
-        let t0x = _mm256_mul_ps(_mm256_sub_ps(_mm256_load_ps(boxes.min_x.as_ptr()), ox), ix);
-        let t1x = _mm256_mul_ps(_mm256_sub_ps(_mm256_load_ps(boxes.max_x.as_ptr()), ox), ix);
-        let t0y = _mm256_mul_ps(_mm256_sub_ps(_mm256_load_ps(boxes.min_y.as_ptr()), oy), iy);
-        let t1y = _mm256_mul_ps(_mm256_sub_ps(_mm256_load_ps(boxes.max_y.as_ptr()), oy), iy);
-        let t0z = _mm256_mul_ps(_mm256_sub_ps(_mm256_load_ps(boxes.min_z.as_ptr()), oz), iz);
-        let t1z = _mm256_mul_ps(_mm256_sub_ps(_mm256_load_ps(boxes.max_z.as_ptr()), oz), iz);
+        #[cfg(not(feature = "fma"))]
+        let (t0x, t1x, t0y, t1y, t0z, t1z) = (
+            _mm256_mul_ps(_mm256_sub_ps(node.min_x, ox), ix),
+            _mm256_mul_ps(_mm256_sub_ps(node.max_x, ox), ix),
+            _mm256_mul_ps(_mm256_sub_ps(node.min_y, oy), iy),
+            _mm256_mul_ps(_mm256_sub_ps(node.max_y, oy), iy),
+            _mm256_mul_ps(_mm256_sub_ps(node.min_z, oz), iz),
+            _mm256_mul_ps(_mm256_sub_ps(node.max_z, oz), iz),
+        );
+        // Contracted form mirroring the portable `fma` path:
+        // fmsub(slab, i, o*i) == fma(slab, i, -(o*i)) exactly (the
+        // addend negation is sign-flip only, never a rounding step).
+        #[cfg(feature = "fma")]
+        let (t0x, t1x, t0y, t1y, t0z, t1z) = {
+            let (px, py, pz) = (
+                _mm256_mul_ps(ox, ix),
+                _mm256_mul_ps(oy, iy),
+                _mm256_mul_ps(oz, iz),
+            );
+            (
+                _mm256_fmsub_ps(node.min_x, ix, px),
+                _mm256_fmsub_ps(node.max_x, ix, px),
+                _mm256_fmsub_ps(node.min_y, iy, py),
+                _mm256_fmsub_ps(node.max_y, iy, py),
+                _mm256_fmsub_ps(node.min_z, iz, pz),
+                _mm256_fmsub_ps(node.max_z, iz, pz),
+            )
+        };
         let near_x = min_num(t0x, t1x);
         let near_y = min_num(t0y, t1y);
         let near_z = min_num(t0z, t1z);
@@ -483,15 +623,50 @@ mod x86 {
         );
         let exit = _mm256_add_ps(min_num(min_num(far_x, far_y), far_z), zero);
         let hit = _mm256_cmp_ps(enter, exit, _CMP_LE_OQ);
-        let mut t_enter = [0.0f32; super::WIDTH];
-        let mut t_exit = [0.0f32; super::WIDTH];
+        let mut t_enter = [0.0f32; super::LANES];
+        let mut t_exit = [0.0f32; super::LANES];
         _mm256_storeu_ps(t_enter.as_mut_ptr(), enter);
         _mm256_storeu_ps(t_exit.as_mut_ptr(), exit);
-        HitMask6 {
+        HitMask8 {
             t_enter,
             t_exit,
-            mask: (_mm256_movemask_ps(hit) as u8) & boxes.lane_mask(),
+            mask: (_mm256_movemask_ps(hit) as u8) & lane_mask,
         }
+    }
+
+    /// AVX2 slab kernel: all 8 lanes in one 8-wide register.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the `avx2` (and, under the `fma` feature,
+    /// `fma`) target features are available.
+    #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
+    #[cfg_attr(feature = "fma", target_feature(enable = "avx2,fma"))]
+    pub unsafe fn slab_test_8_avx2(ray: &RayInv, boxes: &SoaAabbs) -> HitMask8 {
+        let node = load_node(boxes);
+        slab_ray(ray, &node, boxes.lane_mask())
+    }
+
+    /// AVX2 packet kernel: the node's lane arrays are loaded once and
+    /// tested against four rays, each via the same [`slab_ray`] body the
+    /// single-ray kernel uses — packet `r` is bitwise identical to
+    /// `slab_test_8_avx2(&rays[r], boxes)` by construction.
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the `avx2` (and, under the `fma` feature,
+    /// `fma`) target features are available.
+    #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
+    #[cfg_attr(feature = "fma", target_feature(enable = "avx2,fma"))]
+    pub unsafe fn slab_test_8x4_avx2(rays: &[RayInv; 4], boxes: &SoaAabbs) -> [HitMask8; 4] {
+        let node = load_node(boxes);
+        let lane_mask = boxes.lane_mask();
+        [
+            slab_ray(&rays[0], &node, lane_mask),
+            slab_ray(&rays[1], &node, lane_mask),
+            slab_ray(&rays[2], &node, lane_mask),
+            slab_ray(&rays[3], &node, lane_mask),
+        ]
     }
 
     /// SSE2 batched Möller–Trumbore: 4 independent triangle lanes, only
@@ -582,7 +757,7 @@ mod x86 {
 
 #[cfg(target_arch = "aarch64")]
 mod neon {
-    use super::{HitMask6, Ray, RayInv, SoaAabbs, Tri4, Tri4Hit, WIDTH};
+    use super::{HitMask8, Ray, RayInv, SoaAabbs, Tri4, Tri4Hit, LANES};
     use std::arch::aarch64::*;
 
     /// Per-lane select bits for the movemask emulation.
@@ -615,12 +790,31 @@ mod neon {
         iy: float32x4_t,
         iz: float32x4_t,
     ) -> (float32x4_t, float32x4_t, uint32x4_t) {
-        let t0x = vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_x.as_ptr().add(lane)), ox), ix);
-        let t1x = vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_x.as_ptr().add(lane)), ox), ix);
-        let t0y = vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_y.as_ptr().add(lane)), oy), iy);
-        let t1y = vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_y.as_ptr().add(lane)), oy), iy);
-        let t0z = vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_z.as_ptr().add(lane)), oz), iz);
-        let t1z = vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_z.as_ptr().add(lane)), oz), iz);
+        #[cfg(not(feature = "fma"))]
+        let (t0x, t1x, t0y, t1y, t0z, t1z) = (
+            vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_x.as_ptr().add(lane)), ox), ix),
+            vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_x.as_ptr().add(lane)), ox), ix),
+            vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_y.as_ptr().add(lane)), oy), iy),
+            vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_y.as_ptr().add(lane)), oy), iy),
+            vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_z.as_ptr().add(lane)), oz), iz),
+            vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_z.as_ptr().add(lane)), oz), iz),
+        );
+        // Contracted form mirroring the portable `fma` path:
+        // vfmaq(-(o*i), slab, i) == slab*i - o*i with one fused rounding.
+        #[cfg(feature = "fma")]
+        let (t0x, t1x, t0y, t1y, t0z, t1z) = {
+            let nx = vnegq_f32(vmulq_f32(ox, ix));
+            let ny = vnegq_f32(vmulq_f32(oy, iy));
+            let nz = vnegq_f32(vmulq_f32(oz, iz));
+            (
+                vfmaq_f32(nx, vld1q_f32(boxes.min_x.as_ptr().add(lane)), ix),
+                vfmaq_f32(nx, vld1q_f32(boxes.max_x.as_ptr().add(lane)), ix),
+                vfmaq_f32(ny, vld1q_f32(boxes.min_y.as_ptr().add(lane)), iy),
+                vfmaq_f32(ny, vld1q_f32(boxes.max_y.as_ptr().add(lane)), iy),
+                vfmaq_f32(nz, vld1q_f32(boxes.min_z.as_ptr().add(lane)), iz),
+                vfmaq_f32(nz, vld1q_f32(boxes.max_z.as_ptr().add(lane)), iz),
+            )
+        };
         let near_x = vminnmq_f32(t0x, t1x);
         let near_y = vminnmq_f32(t0y, t1y);
         let near_z = vminnmq_f32(t0z, t1z);
@@ -638,7 +832,7 @@ mod neon {
     }
 
     /// NEON slab kernel: two 4-lane halves over the 8-wide storage.
-    pub fn slab_test_6_neon(ray: &RayInv, boxes: &SoaAabbs) -> HitMask6 {
+    pub fn slab_test_8_neon(ray: &RayInv, boxes: &SoaAabbs) -> HitMask8 {
         // SAFETY: NEON is mandatory on aarch64; loads stay inside the
         // 8-wide arrays.
         unsafe {
@@ -650,14 +844,14 @@ mod neon {
             let iz = vdupq_n_f32(ray.inv_direction.z);
             let (enter_lo, exit_lo, hit_lo) = slab_half(boxes, 0, ox, oy, oz, ix, iy, iz);
             let (enter_hi, exit_hi, hit_hi) = slab_half(boxes, 4, ox, oy, oz, ix, iy, iz);
-            let mut t_enter = [0.0f32; WIDTH];
-            let mut t_exit = [0.0f32; WIDTH];
+            let mut t_enter = [0.0f32; LANES];
+            let mut t_exit = [0.0f32; LANES];
             vst1q_f32(t_enter.as_mut_ptr(), enter_lo);
             vst1q_f32(t_enter.as_mut_ptr().add(4), enter_hi);
             vst1q_f32(t_exit.as_mut_ptr(), exit_lo);
             vst1q_f32(t_exit.as_mut_ptr().add(4), exit_hi);
             let mask = movemask(hit_lo, 0) | movemask(hit_hi, 4);
-            HitMask6 {
+            HitMask8 {
                 t_enter,
                 t_exit,
                 mask: mask & boxes.lane_mask(),
@@ -752,7 +946,7 @@ mod tests {
 
     /// Masked-out lanes hold garbage (possibly NaN), so path-equality
     /// checks compare masks plus live-lane bits, not whole structs.
-    fn assert_slab_paths_equal(a: &HitMask6, b: &HitMask6) {
+    fn assert_slab_paths_equal(a: &HitMask8, b: &HitMask8) {
         assert_eq!(a.mask, b.mask, "hit masks diverge");
         for i in 0..LANES {
             if a.mask & (1 << i) != 0 {
@@ -773,8 +967,8 @@ mod tests {
         }
     }
 
-    fn boxes6() -> Vec<Aabb> {
-        (0..6)
+    fn boxes8() -> Vec<Aabb> {
+        (0..8)
             .map(|i| {
                 let c = Vec3::new(i as f32 * 3.0, 0.2 * i as f32, 0.0);
                 Aabb::from_center_half_extent(c, Vec3::splat(1.0))
@@ -784,25 +978,29 @@ mod tests {
 
     #[test]
     fn soa_round_trips_boxes() {
-        let boxes = boxes6();
+        let boxes = boxes8();
         let soa = SoaAabbs::from_aabbs(&boxes);
-        assert_eq!(soa.len(), 6);
-        assert_eq!(soa.lane_mask(), 0b11_1111);
+        assert_eq!(soa.len(), 8);
+        assert_eq!(soa.lane_mask(), 0b1111_1111);
         for (i, &b) in boxes.iter().enumerate() {
             assert_eq!(soa.get(i), b);
         }
     }
 
+    // FMA contraction deliberately changes bits, so the bitwise-vs-scalar
+    // assertions only run on the default path; the `fma` build keeps the
+    // mask-level sanity tests below.
+    #[cfg(not(feature = "fma"))]
     #[test]
     fn slab_lanes_match_scalar_bitwise() {
-        let boxes = boxes6();
+        let boxes = boxes8();
         let soa = SoaAabbs::from_aabbs(&boxes);
         let ray = Ray::new(
             Vec3::new(-4.0, 0.1, 0.05),
             Vec3::new(1.0, 0.02, 0.01).normalized(),
         );
-        let hit = slab_test_6(&ray.inv(), &soa);
-        let portable = slab_test_6_portable(&ray.inv(), &soa);
+        let hit = slab_test_8(&ray.inv(), &soa);
+        let portable = slab_test_8_portable(&ray.inv(), &soa);
         assert_slab_paths_equal(&hit, &portable);
         for (i, b) in boxes.iter().enumerate() {
             match (b.intersect_ray(&ray), hit.hit(i)) {
@@ -816,6 +1014,7 @@ mod tests {
         }
     }
 
+    #[cfg(not(feature = "fma"))]
     #[test]
     fn axis_parallel_ray_matches_scalar() {
         // Zero direction components make the slab arithmetic produce
@@ -828,7 +1027,7 @@ mod tests {
         ];
         let soa = SoaAabbs::from_aabbs(&boxes);
         let ray = Ray::new(Vec3::ZERO, Vec3::Z);
-        let hit = slab_test_6(&ray.inv(), &soa);
+        let hit = slab_test_8(&ray.inv(), &soa);
         for (i, b) in boxes.iter().enumerate() {
             assert_eq!(
                 b.intersect_ray(&ray),
@@ -842,14 +1041,64 @@ mod tests {
     fn sentinel_lanes_never_hit() {
         let soa = SoaAabbs::from_aabbs(&[Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))]);
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-        let hit = slab_test_6(&ray.inv(), &soa);
+        let hit = slab_test_8(&ray.inv(), &soa);
         assert_eq!(hit.mask, 0b1, "only the occupied lane may hit");
         assert!(SoaAabbs::EMPTY.is_empty());
         assert_eq!(
-            slab_test_6(&ray.inv(), &SoaAabbs::EMPTY).mask,
+            slab_test_8(&ray.inv(), &SoaAabbs::EMPTY).mask,
             0,
             "empty node hits nothing"
         );
+    }
+
+    #[test]
+    fn packet_rays_match_single_ray_kernel_bitwise() {
+        // The packet kernel must be a pure transpose: packet lane `r`
+        // bitwise-equals a single-ray kernel call. This holds on every
+        // path, including `fma` builds (both sides contract identically).
+        let boxes = boxes8();
+        let soa = SoaAabbs::from_aabbs(&boxes);
+        let rays: [Ray; 4] = [
+            Ray::new(
+                Vec3::new(-4.0, 0.1, 0.05),
+                Vec3::new(1.0, 0.02, 0.01).normalized(),
+            ),
+            Ray::new(
+                Vec3::new(-4.0, 0.3, -0.05),
+                Vec3::new(1.0, 0.01, -0.02).normalized(),
+            ),
+            Ray::new(Vec3::new(2.0, 8.0, 0.0), Vec3::new(0.0, -1.0, 0.0)),
+            Ray::new(Vec3::new(30.0, 0.0, 0.0), Vec3::X),
+        ];
+        let invs = [rays[0].inv(), rays[1].inv(), rays[2].inv(), rays[3].inv()];
+        let packet = slab_test_8x4(&invs, &soa);
+        let portable = slab_test_8x4_portable(&invs, &soa);
+        for r in 0..4 {
+            assert_slab_paths_equal(&packet[r], &slab_test_8(&invs[r], &soa));
+            assert_slab_paths_equal(&portable[r], &slab_test_8_portable(&invs[r], &soa));
+        }
+    }
+
+    #[cfg(feature = "fma")]
+    #[test]
+    fn fma_kernel_agrees_with_scalar_on_clear_cut_hits() {
+        // Contraction shifts t values by at most one rounding step, so
+        // hit/miss decisions on non-borderline boxes still match the
+        // scalar test even though bits may differ.
+        let boxes = boxes8();
+        let soa = SoaAabbs::from_aabbs(&boxes);
+        let ray = Ray::new(
+            Vec3::new(-4.0, 0.1, 0.05),
+            Vec3::new(1.0, 0.02, 0.01).normalized(),
+        );
+        let hit = slab_test_8(&ray.inv(), &soa);
+        for (i, b) in boxes.iter().enumerate() {
+            assert_eq!(
+                b.intersect_ray(&ray).is_some(),
+                hit.hit(i).is_some(),
+                "lane {i} hit/miss diverged under fma"
+            );
+        }
     }
 
     #[test]

@@ -8,12 +8,20 @@
 //! degenerate boxes (`min == max`), inverted-interval boxes
 //! (`min > max`), and boxes entirely behind the origin — through both
 //! and compare bits.
+//!
+//! The `fma` cargo feature contracts the slab arithmetic and therefore
+//! deliberately breaks bitwise equality **with the scalar reference**;
+//! those assertions gate themselves off under the feature. The packet
+//! transpose (`slab_test_8x4` lane `r` == `slab_test_8(rays[r])`) holds
+//! on every build, `fma` included, and stays unconditional.
 
 use grtx_math::simd::{
-    ray_triangle_4, ray_triangle_4_portable, slab_test_6, slab_test_6_portable, HitMask6, SoaAabbs,
-    Tri4, Tri4Hit, LANES,
+    ray_triangle_4, ray_triangle_4_portable, slab_test_8, slab_test_8_portable, slab_test_8x4,
+    slab_test_8x4_portable, HitMask8, SoaAabbs, Tri4, Tri4Hit, LANES,
 };
-use grtx_math::{intersect::ray_triangle, Aabb, Ray, Vec3};
+#[cfg(not(feature = "fma"))]
+use grtx_math::Aabb;
+use grtx_math::{intersect::ray_triangle, Ray, Vec3};
 use proptest::prelude::*;
 
 fn finite_f32(range: std::ops::Range<f32>) -> impl Strategy<Value = f32> {
@@ -45,13 +53,13 @@ fn direction() -> impl Strategy<Value = Vec3> {
 /// Boxes of every shape class the traversal can meet: regular,
 /// point-degenerate (`min == max`), inverted (`min > max` — the empty
 /// sentinel shape), flat (one zero-extent axis), and far-behind-origin.
-fn aabb_case() -> impl Strategy<Value = Aabb> {
+fn aabb_case() -> impl Strategy<Value = grtx_math::Aabb> {
     (vec3(-8.0..8.0), vec3(0.01..4.0), 0u32..5).prop_map(|(corner, ext, class)| match class {
-        0 => Aabb::new(corner, corner + ext),
-        1 => Aabb::new(corner, corner),       // degenerate point box
-        2 => Aabb::new(corner, corner - ext), // inverted interval
-        3 => Aabb::new(corner, corner + Vec3::new(0.0, ext.y, ext.z)), // flat slab
-        _ => Aabb::new(corner - Vec3::splat(100.0), corner - Vec3::splat(96.0)), // behind
+        0 => grtx_math::Aabb::new(corner, corner + ext),
+        1 => grtx_math::Aabb::new(corner, corner), // degenerate point box
+        2 => grtx_math::Aabb::new(corner, corner - ext), // inverted interval
+        3 => grtx_math::Aabb::new(corner, corner + Vec3::new(0.0, ext.y, ext.z)), // flat slab
+        _ => grtx_math::Aabb::new(corner - Vec3::splat(100.0), corner - Vec3::splat(96.0)), // behind
     })
 }
 
@@ -67,7 +75,28 @@ fn triangle_case() -> impl Strategy<Value = [Vec3; 3]> {
     })
 }
 
-fn assert_slab_paths_equal(a: &HitMask6, b: &HitMask6) -> Result<(), TestCaseError> {
+/// Four packet rays spanning the coherence spectrum the packet path
+/// meets in practice: two random rays, one axis-parallel, one with the
+/// shared origin of a primary-ray fan.
+fn ray_quad() -> impl Strategy<Value = [Ray; 4]> {
+    (
+        vec3(-12.0..12.0),
+        direction(),
+        direction(),
+        direction(),
+        direction(),
+    )
+        .prop_map(|(origin, d0, d1, d2, d3)| {
+            [
+                Ray::new(origin, d0),
+                Ray::new(origin, d1),
+                Ray::new(origin + Vec3::splat(0.25), d2),
+                Ray::new(origin, Vec3::new(d3.x, 0.0, 0.0)),
+            ]
+        })
+}
+
+fn assert_slab_paths_equal(a: &HitMask8, b: &HitMask8) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.mask, b.mask, "hit masks diverge");
     for i in 0..LANES {
         if a.mask & (1 << i) != 0 {
@@ -90,15 +119,17 @@ fn assert_tri_paths_equal(a: &Tri4Hit, b: &Tri4Hit) -> Result<(), TestCaseError>
     Ok(())
 }
 
+#[cfg(not(feature = "fma"))]
 proptest! {
     /// Lane `i` of the batched slab test reproduces the scalar
-    /// `Aabb::intersect_ray` bit-for-bit on every box class.
+    /// `Aabb::intersect_ray` bit-for-bit on every box class, across the
+    /// full 8-lane width.
     #[test]
-    fn slab_lane_equals_scalar(boxes in proptest::collection::vec(aabb_case(), 0..7),
+    fn slab_lane_equals_scalar(boxes in proptest::collection::vec(aabb_case(), 0..9),
                                origin in vec3(-12.0..12.0), dir in direction()) {
         let ray = Ray::new(origin, dir);
         let soa = SoaAabbs::from_aabbs(&boxes);
-        let batched = slab_test_6(&ray.inv(), &soa);
+        let batched = slab_test_8(&ray.inv(), &soa);
         for (i, b) in boxes.iter().enumerate() {
             let scalar = b.intersect_ray(&ray);
             let lane = batched.hit(i);
@@ -118,14 +149,30 @@ proptest! {
     /// The dispatched path (explicit AVX2/NEON when the CPU has it)
     /// produces exactly the portable kernel's bits.
     #[test]
-    fn slab_dispatch_equals_portable(boxes in proptest::collection::vec(aabb_case(), 0..7),
+    fn slab_dispatch_equals_portable(boxes in proptest::collection::vec(aabb_case(), 0..9),
                                      origin in vec3(-12.0..12.0), dir in direction()) {
         let ray = Ray::new(origin, dir);
         let soa = SoaAabbs::from_aabbs(&boxes);
         assert_slab_paths_equal(
-            &slab_test_6(&ray.inv(), &soa),
-            &slab_test_6_portable(&ray.inv(), &soa),
+            &slab_test_8(&ray.inv(), &soa),
+            &slab_test_8_portable(&ray.inv(), &soa),
         )?;
+    }
+
+    /// Packet lane `r` of the dispatched packet kernel reproduces the
+    /// portable single-ray kernel bit-for-bit — the packet path may
+    /// never perturb a traversal decision.
+    #[test]
+    fn packet_lane_equals_portable_single_ray(
+        boxes in proptest::collection::vec(aabb_case(), 0..9),
+        rays in ray_quad(),
+    ) {
+        let soa = SoaAabbs::from_aabbs(&boxes);
+        let invs = [rays[0].inv(), rays[1].inv(), rays[2].inv(), rays[3].inv()];
+        let packet = slab_test_8x4(&invs, &soa);
+        for r in 0..4 {
+            assert_slab_paths_equal(&packet[r], &slab_test_8_portable(&invs[r], &soa))?;
+        }
     }
 
     /// Lane `i` of the batched triangle test reproduces the scalar
@@ -165,9 +212,31 @@ proptest! {
     }
 }
 
+// Under `fma` the scalar reference no longer matches bitwise, but the
+// packet transpose must still hold exactly: both sides of the identity
+// contract identically, so packet lane `r` == the dispatched single-ray
+// kernel on every build.
+proptest! {
+    #[test]
+    fn packet_lane_equals_dispatched_single_ray(
+        boxes in proptest::collection::vec(aabb_case(), 0..9),
+        rays in ray_quad(),
+    ) {
+        let soa = SoaAabbs::from_aabbs(&boxes);
+        let invs = [rays[0].inv(), rays[1].inv(), rays[2].inv(), rays[3].inv()];
+        let packet = slab_test_8x4(&invs, &soa);
+        let portable = slab_test_8x4_portable(&invs, &soa);
+        for r in 0..4 {
+            assert_slab_paths_equal(&packet[r], &slab_test_8(&invs[r], &soa))?;
+            assert_slab_paths_equal(&portable[r], &slab_test_8_portable(&invs[r], &soa))?;
+        }
+    }
+}
+
 /// Deterministic worst-case corners, independent of the random driver:
 /// rays lying exactly in a slab plane (the `0 * inf` NaN case), inverted
 /// boxes, and boxes behind the origin.
+#[cfg(not(feature = "fma"))]
 #[test]
 fn slab_known_hard_cases_match_scalar() {
     let boxes = vec![
@@ -191,8 +260,8 @@ fn slab_known_hard_cases_match_scalar() {
     ];
     let soa = SoaAabbs::from_aabbs(&boxes);
     for ray in &rays {
-        let batched = slab_test_6(&ray.inv(), &soa);
-        let portable = slab_test_6_portable(&ray.inv(), &soa);
+        let batched = slab_test_8(&ray.inv(), &soa);
+        let portable = slab_test_8_portable(&ray.inv(), &soa);
         assert_eq!(batched.mask, portable.mask);
         for (i, b) in boxes.iter().enumerate() {
             let scalar = b.intersect_ray(ray);
@@ -205,5 +274,33 @@ fn slab_known_hard_cases_match_scalar() {
                 (s, l) => panic!("lane {i}: scalar {s:?} vs batched {l:?}"),
             }
         }
+    }
+}
+
+/// The behind-origin packet hard case: four rays all pointing away from
+/// every box must produce all-miss masks on every path.
+#[test]
+fn packet_behind_origin_rays_all_miss() {
+    let boxes: Vec<grtx_math::Aabb> = (0..8)
+        .map(|i| {
+            grtx_math::Aabb::from_center_half_extent(
+                Vec3::new(0.0, 0.0, -5.0 - i as f32),
+                Vec3::splat(0.4),
+            )
+        })
+        .collect();
+    let soa = SoaAabbs::from_aabbs(&boxes);
+    let rays = [
+        Ray::new(Vec3::ZERO, Vec3::Z),
+        Ray::new(Vec3::ZERO, Vec3::new(0.1, 0.0, 1.0)),
+        Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.1, 1.0)),
+        Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0)),
+    ];
+    let invs = [rays[0].inv(), rays[1].inv(), rays[2].inv(), rays[3].inv()];
+    for hit in slab_test_8x4(&invs, &soa) {
+        assert_eq!(hit.mask, 0, "behind-origin boxes must all miss");
+    }
+    for hit in slab_test_8x4_portable(&invs, &soa) {
+        assert_eq!(hit.mask, 0);
     }
 }

@@ -1,0 +1,51 @@
+//! Quick wall-clock A/B for the ray-packet path: renders one scene with
+//! `ray_packets` on and off and prints both times. Not a committed
+//! baseline — run ad hoc when touching the packet machinery:
+//!
+//! ```text
+//! cargo run --release -p grtx-render --example packet_timing
+//! ```
+
+use std::time::Instant;
+
+use grtx_bvh::{AccelStruct, BoundingPrimitive, LayoutConfig};
+use grtx_render::engine::RenderEngine;
+use grtx_render::renderer::RenderConfig;
+use grtx_scene::{synth::generate_scene, Camera, CameraModel, SceneKind};
+use grtx_sim::GpuConfig;
+
+fn main() {
+    let scene = generate_scene(SceneKind::Train.profile().with_gaussian_budget(40_000), 42);
+    let accel = AccelStruct::build(
+        &scene,
+        BoundingPrimitive::UnitSphere,
+        true,
+        &LayoutConfig::default(),
+    );
+    let camera = Camera::look_at(
+        128,
+        128,
+        CameraModel::Pinhole { fov_y: 0.9 },
+        SceneKind::Train.profile().camera_eye(),
+        grtx_math::Vec3::ZERO,
+        grtx_math::Vec3::Y,
+    );
+    for (label, packets) in [("packets on ", true), ("packets off", false)] {
+        let config = RenderConfig {
+            ray_packets: packets,
+            ..Default::default()
+        };
+        // Warm-up + best-of-3 to dodge scheduler noise.
+        let mut best = f64::INFINITY;
+        for _ in 0..4 {
+            let start = Instant::now();
+            let report = RenderEngine::new(GpuConfig::default())
+                .with_threads(4)
+                .render(&accel, &scene, &camera, None, &config);
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs);
+            std::hint::black_box(report.cycles);
+        }
+        println!("{label}: best {best:.3} s");
+    }
+}

@@ -54,12 +54,14 @@ use crate::blend::BlendState;
 use crate::image::Image;
 use crate::renderer::{shader_cycles, RenderConfig, RenderReport, SecondaryBreakdown};
 use crate::tracer::{RayTracer, TraceParams};
-use grtx_bvh::AccelStruct;
+use grtx_bvh::{AccelStruct, RayPacket4};
 use grtx_math::Ray;
 use grtx_scene::{Camera, EffectObjects, GaussianScene};
 use grtx_sim::fasthash::FastMap;
 use grtx_sim::{GpuConfig, GpuSim, RayTraceState, WarpSchedule};
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 /// One traced job: pixel index, ray, scene cut-off.
 struct Job {
@@ -429,17 +431,25 @@ impl RenderEngine {
         // Secondary warps continue the round-robin where the primary
         // warps left off. The two phases run back-to-back, preserving the
         // seed renderer's ordering (all primaries retire before any
-        // secondary starts).
-        let phases: [(&[Job], usize, usize, usize); 2] = [
-            (&launch.primary_jobs, launch.primary_warps, 0, 0),
+        // secondary starts). Only primary rays are coherent row-major
+        // fans, so only the primary phase packetizes.
+        let phases: [(&[Job], usize, usize, usize, bool); 2] = [
+            (
+                &launch.primary_jobs,
+                launch.primary_warps,
+                0,
+                0,
+                config.ray_packets,
+            ),
             (
                 &launch.secondary_jobs,
                 launch.secondary_warps,
                 launch.primary_warps,
                 launch.primary_jobs.len(),
+                false,
             ),
         ];
-        for (jobs, warp_count, warp_base, job_base) in phases {
+        for (jobs, warp_count, warp_base, job_base, packets) in phases {
             let my_warps: Vec<usize> = (0..warp_count)
                 .filter(|w| schedule.sm_of_launch_warp(warp_base + w) == sm)
                 .collect();
@@ -451,6 +461,7 @@ impl RenderEngine {
                 config,
                 &my_warps,
                 warp_size,
+                packets,
                 |warp, times| warp_times.push((warp_base + warp, times)),
                 |job, blend| blends.push((job_base + job, blend)),
             );
@@ -604,6 +615,7 @@ fn run_warp_queue<'a>(
     config: &RenderConfig,
     warps: &[usize],
     warp_size: usize,
+    packets: bool,
     mut on_warp_done: impl FnMut(usize, (u64, u64)),
     mut on_blend: impl FnMut(usize, BlendState),
 ) {
@@ -614,17 +626,36 @@ fn run_warp_queue<'a>(
 
     let make_exec = |w: usize| -> WarpExec<'a> {
         let chunk = &jobs[w * warp_size..((w + 1) * warp_size).min(jobs.len())];
+        let mut tracers: Vec<RayTracer<'a>> = chunk
+            .iter()
+            .map(|job| {
+                let params = TraceParams {
+                    t_scene_max: job.t_cut,
+                    ..config.params
+                };
+                RayTracer::new(accel, scene, job.ray, params)
+            })
+            .collect();
+        if packets {
+            // A warp's jobs are consecutive row-major pixels, so quads
+            // of four adjacent tracers form coherent packets sharing
+            // wide-node box tests. A warp advances its lanes on one
+            // thread, so the shared `Rc<RefCell<_>>` never crosses
+            // threads. Partial trailing quads stay single-ray.
+            for (q, quad) in chunk.chunks_exact(4).enumerate() {
+                let packet = Rc::new(RefCell::new(RayPacket4::new([
+                    &quad[0].ray,
+                    &quad[1].ray,
+                    &quad[2].ray,
+                    &quad[3].ray,
+                ])));
+                for lane in 0..4 {
+                    tracers[q * 4 + lane].attach_packet(packet.clone(), lane);
+                }
+            }
+        }
         WarpExec {
-            tracers: chunk
-                .iter()
-                .map(|job| {
-                    let params = TraceParams {
-                        t_scene_max: job.t_cut,
-                        ..config.params
-                    };
-                    RayTracer::new(accel, scene, job.ray, params)
-                })
-                .collect(),
+            tracers,
             states: chunk.iter().map(|_| RayTraceState::new()).collect(),
             compute: 0,
             stall: 0,

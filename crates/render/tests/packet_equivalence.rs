@@ -1,0 +1,107 @@
+//! The ray-packet contract: tracing coherent primary rays as 4-ray
+//! packets ([`grtx_bvh::RayPacket4`]) is **bit-identical** to the
+//! single-ray path — images, cycle counts, and every statistic — on
+//! every camera model and at every thread count. Packets amortize
+//! host-side kernel work only; they must never change a result.
+
+use grtx_bvh::{AccelStruct, BoundingPrimitive, LayoutConfig};
+use grtx_render::engine::RenderEngine;
+use grtx_render::renderer::{render_functional, RenderConfig};
+use grtx_scene::{synth::generate_scene, Camera, CameraModel, GaussianScene, SceneKind};
+use grtx_sim::GpuConfig;
+
+fn setup(model: CameraModel) -> (GaussianScene, AccelStruct, Camera) {
+    let scene = generate_scene(SceneKind::Train.profile().with_gaussian_budget(500), 11);
+    let accel = AccelStruct::build(
+        &scene,
+        BoundingPrimitive::UnitSphere,
+        true,
+        &LayoutConfig::default(),
+    );
+    let camera = Camera::look_at(
+        26,
+        22,
+        model,
+        SceneKind::Train.profile().camera_eye(),
+        grtx_math::Vec3::ZERO,
+        grtx_math::Vec3::Y,
+    );
+    (scene, accel, camera)
+}
+
+fn configs() -> (RenderConfig, RenderConfig) {
+    let packets = RenderConfig {
+        ray_packets: true,
+        ..Default::default()
+    };
+    let single = RenderConfig {
+        ray_packets: false,
+        ..Default::default()
+    };
+    (packets, single)
+}
+
+/// Functional (cost-free) path: packets on vs off, pinhole and fisheye.
+/// 26×22 is deliberately not a multiple of 4, so the trailing
+/// partial quad of the row-major job list exercises the single-ray
+/// fallback inside a packet-enabled render.
+#[test]
+fn functional_render_is_bit_identical_with_packets() {
+    for model in [
+        CameraModel::Pinhole { fov_y: 0.9 },
+        CameraModel::Fisheye { max_theta: 1.4 },
+    ] {
+        let (scene, accel, camera) = setup(model);
+        let (packets, single) = configs();
+        let img_packet = render_functional(&accel, &scene, &camera, &packets);
+        let img_single = render_functional(&accel, &scene, &camera, &single);
+        assert_eq!(
+            img_packet.pixels(),
+            img_single.pixels(),
+            "{model:?}: packet and single-ray functional images must match bitwise"
+        );
+    }
+}
+
+/// Simulated path through the engine: packets on vs off must leave the
+/// image, cycles, and every statistic untouched, at 1 and 4 host
+/// threads (packet-mates always share a thread, so thread count and
+/// packets must compose).
+#[test]
+fn simulated_render_is_bit_identical_with_packets_at_any_thread_count() {
+    for model in [
+        CameraModel::Pinhole { fov_y: 0.9 },
+        CameraModel::Fisheye { max_theta: 1.4 },
+    ] {
+        let (scene, accel, camera) = setup(model);
+        let (packets, single) = configs();
+        let baseline = RenderEngine::new(GpuConfig::default())
+            .with_threads(1)
+            .render(&accel, &scene, &camera, None, &single);
+        for threads in [1usize, 4] {
+            let report = RenderEngine::new(GpuConfig::default())
+                .with_threads(threads)
+                .render(&accel, &scene, &camera, None, &packets);
+            let what = format!("{model:?} threads={threads}");
+            assert_eq!(
+                report.image.pixels(),
+                baseline.image.pixels(),
+                "{what}: image bytes"
+            );
+            assert_eq!(report.cycles, baseline.cycles, "{what}: cycles");
+            assert_eq!(report.stats, baseline.stats, "{what}: SimStats");
+            assert_eq!(
+                report.l2_accesses, baseline.l2_accesses,
+                "{what}: L2 accesses"
+            );
+            assert_eq!(
+                report.dram_accesses, baseline.dram_accesses,
+                "{what}: DRAM accesses"
+            );
+            assert_eq!(
+                report.footprint_bytes, baseline.footprint_bytes,
+                "{what}: footprint"
+            );
+        }
+    }
+}

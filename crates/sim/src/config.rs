@@ -132,7 +132,7 @@ impl GpuConfig {
 /// renderer's shader-side accounting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
-    /// RT-unit issue + ray–box evaluation for one wide node (up to six
+    /// RT-unit issue + ray–box evaluation for one wide node (up to eight
     /// boxes tested in parallel).
     pub node_visit: u64,
     /// Hardware ray–triangle test.
