@@ -37,7 +37,52 @@ fn time_ns(samples: usize, iters: u64, mut f: impl FnMut() -> u32) -> f64 {
     medians[medians.len() / 2]
 }
 
+/// The toolchain/flags provenance block recorded with the numbers, so a
+/// later diff against the committed baseline can tell a real kernel
+/// regression from a changed build environment.
+fn provenance_json() -> String {
+    let rustc =
+        std::process::Command::new(std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into()))
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+    let rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    let target_cpu = rustflags
+        .split_whitespace()
+        .find_map(|flag| flag.strip_prefix("-Ctarget-cpu="))
+        .unwrap_or("generic");
+    format!(
+        concat!(
+            "  \"provenance\": {{\n",
+            "    \"rustc\": \"{}\",\n",
+            "    \"target_cpu\": \"{}\",\n",
+            "    \"rustflags\": \"{}\",\n",
+            "    \"avx2\": {},\n",
+            "    \"fma_target_feature\": {},\n",
+            "    \"fma_crate_feature\": {}\n",
+            "  }},"
+        ),
+        rustc.replace('"', "'"),
+        target_cpu,
+        rustflags.replace('"', "'"),
+        cfg!(target_feature = "avx2"),
+        cfg!(target_feature = "fma"),
+        cfg!(feature = "fma"),
+    )
+}
+
 fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "error: dump_kernel_baseline measures kernel timings and must run \
+             from a release build; debug numbers are meaningless as a baseline.\n\
+             Re-run with: cargo run --release -p grtx-bench --example dump_kernel_baseline"
+        );
+        std::process::exit(1);
+    }
     // Fixtures shared with benches/kernels.rs via grtx_bench, so the
     // committed baseline stays comparable to the live bench numbers.
     let boxes = grtx_bench::kernel_node_boxes();
@@ -138,6 +183,7 @@ fn main() {
     println!("  \"units\": \"ns_per_iter\",");
     println!("  \"node_count\": {},", bvh.node_count());
     println!("  \"arch\": \"{}\",", std::env::consts::ARCH);
+    println!("{}", provenance_json());
     println!("  \"tree_shape\": {{");
     println!("    \"bvh8_nodes\": {},", bvh.node_count());
     println!("    \"bvh8_height\": {},", bvh.height);

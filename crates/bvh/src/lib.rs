@@ -42,7 +42,7 @@ pub use builder::{
 };
 pub use layout::{format_bytes, AddressSpace, BvhSizeReport, LayoutConfig};
 pub use monolithic::MonolithicBvh;
-pub use packet::{PacketLane, RayPacket4};
+pub use packet::{PacketCacheStats, PacketLane, RayPacket4};
 pub use traversal::{
     trace_round, trace_round_packet, AnyHitVerdict, CheckpointEntry, CheckpointSink, FetchKind,
     NullObserver, PrimTestKind, RoundOutcome, Slot, TraversalObserver, CHECKPOINT_ENTRY_BYTES,

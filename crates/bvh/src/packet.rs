@@ -42,16 +42,47 @@ struct CacheSlot {
     results: [HitMask8; 4],
 }
 
+/// The packet cache's effectiveness counters: how many node tests the
+/// cache served versus how many paid a transposed kernel call, and how
+/// many of those misses were direct-map conflicts that evicted a live
+/// entry (the signal for whether a bigger/associative cache would help).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketCacheStats {
+    /// Transposed kernel calls issued (cold + conflict misses).
+    pub kernel_calls: u64,
+    /// Node tests answered from the cache without a kernel call.
+    pub cache_hits: u64,
+    /// Misses that replaced a live entry (direct-map conflicts).
+    pub evictions: u64,
+}
+
+impl PacketCacheStats {
+    /// Accumulates another packet's counters into this one.
+    pub fn absorb(&mut self, other: &PacketCacheStats) {
+        self.kernel_calls += other.kernel_calls;
+        self.cache_hits += other.cache_hits;
+        self.evictions += other.evictions;
+    }
+
+    /// Fraction of node tests served from the cache (`0.0` when no
+    /// tests ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.kernel_calls + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
 /// Four coherent rays sharing wide-node box tests through a per-packet
 /// result cache. See the module docs for the determinism argument.
 #[derive(Debug)]
 pub struct RayPacket4 {
     rays: [RayInv; 4],
     cache: Vec<CacheSlot>,
-    /// Transposed kernel calls issued (cache misses).
-    kernel_calls: u64,
-    /// Node tests answered from the cache.
-    cache_hits: u64,
+    stats: PacketCacheStats,
 }
 
 impl RayPacket4 {
@@ -68,8 +99,7 @@ impl RayPacket4 {
                 };
                 CACHE_SLOTS
             ],
-            kernel_calls: 0,
-            cache_hits: 0,
+            stats: PacketCacheStats::default(),
         }
     }
 
@@ -85,11 +115,14 @@ impl RayPacket4 {
     pub fn node_test(&mut self, node_id: u32, bounds: &SoaAabbs, lane: usize) -> HitMask8 {
         let slot = &mut self.cache[node_id as usize % CACHE_SLOTS];
         if slot.key != node_id {
+            if slot.key != EMPTY_KEY {
+                self.stats.evictions += 1;
+            }
             slot.key = node_id;
             slot.results = slab_test_8x4(&self.rays, bounds);
-            self.kernel_calls += 1;
+            self.stats.kernel_calls += 1;
         } else {
-            self.cache_hits += 1;
+            self.stats.cache_hits += 1;
         }
         slot.results[lane]
     }
@@ -97,7 +130,13 @@ impl RayPacket4 {
     /// `(transposed kernel calls, cache-served tests)` — the
     /// amortization this packet achieved.
     pub fn kernel_stats(&self) -> (u64, u64) {
-        (self.kernel_calls, self.cache_hits)
+        (self.stats.kernel_calls, self.stats.cache_hits)
+    }
+
+    /// Full cache-effectiveness counters: hits, misses (kernel calls),
+    /// and direct-map conflict evictions.
+    pub fn cache_stats(&self) -> PacketCacheStats {
+        self.stats
     }
 }
 
@@ -186,10 +225,61 @@ mod tests {
         assert_eq!(b, slab_test_8(&rays[0].inv(), &boxes));
         let (calls, _) = packet.kernel_stats();
         assert_eq!(calls, 2, "conflicting ids each pay a kernel call");
+        assert_eq!(
+            packet.cache_stats().evictions,
+            1,
+            "the second id evicted the first's live entry"
+        );
         // Re-touching the evicted id recomputes, still correctly.
         assert_eq!(
             packet.node_test(3, &boxes, 1),
             slab_test_8(&rays[1].inv(), &boxes)
         );
+        assert_eq!(
+            packet.cache_stats(),
+            PacketCacheStats {
+                kernel_calls: 3,
+                cache_hits: 0,
+                evictions: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn cold_misses_are_not_evictions() {
+        let rays = fan();
+        let boxes = boxes();
+        let mut packet = RayPacket4::new([&rays[0], &rays[1], &rays[2], &rays[3]]);
+        for id in 0..CACHE_SLOTS as u32 {
+            packet.node_test(id, &boxes, 0);
+        }
+        let stats = packet.cache_stats();
+        assert_eq!(stats.kernel_calls, CACHE_SLOTS as u64);
+        assert_eq!(stats.evictions, 0, "filling empty slots evicts nothing");
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_absorb_sums_fields() {
+        let mut a = PacketCacheStats {
+            kernel_calls: 1,
+            cache_hits: 3,
+            evictions: 0,
+        };
+        let b = PacketCacheStats {
+            kernel_calls: 2,
+            cache_hits: 5,
+            evictions: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            PacketCacheStats {
+                kernel_calls: 3,
+                cache_hits: 8,
+                evictions: 1,
+            }
+        );
+        assert!((a.hit_rate() - 8.0 / 11.0).abs() < 1e-12);
     }
 }

@@ -11,6 +11,7 @@ use grtx_scene::synth::generate_scene;
 use grtx_scene::{Camera, EffectObjects, GaussianScene, SceneKind, SceneProfile};
 use grtx_shard::{ShardedAccel, ShardingSummary};
 use grtx_sim::GpuConfig;
+use grtx_telemetry::Telemetry;
 
 /// One named acceleration/hardware configuration from the paper's
 /// evaluation (Figs. 12, 13, 22, 24).
@@ -155,6 +156,13 @@ pub struct RunOptions {
     /// — images, cycles, and statistics are bit-identical to the
     /// unsharded path at any value — only build wall-clock time.
     pub shards: usize,
+    /// Telemetry handle threaded through every layer the run touches
+    /// (sharded build, render engine, frame pipeline). The default
+    /// (disabled) handle records nothing and costs one branch per
+    /// event; an enabled one collects spans, counters, and histograms
+    /// without changing any result — images, cycles, and statistics
+    /// stay bit-identical with telemetry on or off.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunOptions {
@@ -170,6 +178,7 @@ impl Default for RunOptions {
             effects_seed: None,
             threads: 0,
             shards: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -293,6 +302,29 @@ impl SceneSetup {
         )
     }
 
+    /// [`Self::build_sharded_accel`] with telemetry: build-phase spans
+    /// and the summary's wall-clock fields route through the handle (see
+    /// [`ShardedAccel::build_traced`]). The structure itself is
+    /// bit-identical either way.
+    pub fn build_sharded_accel_traced(
+        &self,
+        variant: &PipelineVariant,
+        layout: &LayoutConfig,
+        shards: usize,
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> ShardedAccel {
+        ShardedAccel::build_traced(
+            &self.scene,
+            variant.primitive,
+            variant.two_level,
+            layout,
+            shards,
+            threads,
+            telemetry,
+        )
+    }
+
     /// The variant/options-prescribed acceleration-structure layout.
     fn layout(options: &RunOptions) -> LayoutConfig {
         if options.layout_amd {
@@ -355,8 +387,13 @@ impl SceneSetup {
     pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
         let layout = Self::layout(options);
         if options.shards > 0 {
-            let sharded =
-                self.build_sharded_accel(variant, &layout, options.shards, options.threads);
+            let sharded = self.build_sharded_accel_traced(
+                variant,
+                &layout,
+                options.shards,
+                options.threads,
+                &options.telemetry,
+            );
             let mut result = self.run_with_accel(sharded.accel(), variant, options);
             result.sharding = Some(sharded.summary());
             result
@@ -377,13 +414,10 @@ impl SceneSetup {
         let config = Self::render_config(variant, options);
         let gpu = options.gpu.clone().with_cache_scale(self.divisor);
         let effects = self.effects(options);
-        let report = RenderEngine::new(gpu).with_threads(options.threads).render(
-            accel,
-            &self.scene,
-            &self.camera,
-            effects.as_ref(),
-            &config,
-        );
+        let report = RenderEngine::new(gpu)
+            .with_threads(options.threads)
+            .with_telemetry(options.telemetry.clone())
+            .render(accel, &self.scene, &self.camera, effects.as_ref(), &config);
         self.result_for(accel, report)
     }
 
@@ -407,8 +441,13 @@ impl SceneSetup {
         }
         let layout = Self::layout(options);
         if options.shards > 0 {
-            let sharded =
-                self.build_sharded_accel(variant, &layout, options.shards, options.threads);
+            let sharded = self.build_sharded_accel_traced(
+                variant,
+                &layout,
+                options.shards,
+                options.threads,
+                &options.telemetry,
+            );
             let mut results = self.run_batch_with_accel(sharded.accel(), variant, options, cameras);
             for result in &mut results {
                 result.sharding = Some(sharded.summary());
@@ -434,6 +473,7 @@ impl SceneSetup {
         let effects = self.effects(options);
         RenderEngine::new(gpu)
             .with_threads(options.threads)
+            .with_telemetry(options.telemetry.clone())
             .render_batch(accel, &self.scene, cameras, effects.as_ref(), &config)
             .into_iter()
             .map(|report| self.result_for(accel, report))
@@ -484,6 +524,7 @@ impl SceneSetup {
             render: Self::render_config(variant, options),
             gpu: options.gpu.clone().with_cache_scale(self.divisor),
             effects: self.effects(options),
+            telemetry: options.telemetry.clone(),
         }
     }
 

@@ -61,8 +61,13 @@
 //! ```
 
 pub mod experiment;
+pub mod trace;
 
 pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup, StreamFrame};
+pub use trace::{
+    report_path_for, telemetry_from_env, trace_path_from_env, write_trace, write_trace_from_env,
+    TRACE_ENV,
+};
 
 pub use grtx_bvh::{format_bytes, AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
 pub use grtx_pipeline::{
@@ -75,3 +80,4 @@ pub use grtx_render::{
 pub use grtx_scene::{Camera, CameraModel, EffectObjects, Gaussian, GaussianScene, SceneKind};
 pub use grtx_shard::{ScenePartition, ShardInfo, ShardSpec, ShardedAccel, ShardingSummary};
 pub use grtx_sim::{checkpoint_hw_cost_bytes, GpuConfig};
+pub use grtx_telemetry::{ClockMode, Telemetry, TelemetryReport};

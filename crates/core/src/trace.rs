@@ -1,0 +1,135 @@
+//! `GRTX_TRACE` convenience: turn on telemetry and dump its artifacts
+//! (a Chrome trace plus the machine-readable report) through one
+//! environment variable.
+//!
+//! Setting `GRTX_TRACE=<path>` means "collect telemetry and write the
+//! Chrome trace-event JSON to `<path>`"; the
+//! [`TelemetryReport`](grtx_telemetry::TelemetryReport) JSON
+//! lands next to it at `<path minus extension>.report.json`. Binaries
+//! opt in with two calls:
+//!
+//! ```no_run
+//! let telemetry = grtx::telemetry_from_env();
+//! // ... run experiments with `telemetry` in their `RunOptions` ...
+//! grtx::write_trace_from_env(&telemetry).unwrap();
+//! ```
+//!
+//! With the variable unset, `telemetry_from_env` returns the disabled
+//! handle and `write_trace_from_env` writes nothing — the default path
+//! stays zero-overhead.
+
+use grtx_telemetry::Telemetry;
+use std::path::{Path, PathBuf};
+
+/// The environment variable naming the Chrome-trace output path.
+pub const TRACE_ENV: &str = "GRTX_TRACE";
+
+/// The trace path from [`TRACE_ENV`], if set and non-empty.
+pub fn trace_path_from_env() -> Option<PathBuf> {
+    std::env::var_os(TRACE_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// An enabled [`Telemetry`] handle when [`TRACE_ENV`] is set, the
+/// disabled (zero-overhead) handle otherwise.
+pub fn telemetry_from_env() -> Telemetry {
+    if trace_path_from_env().is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// The report path that rides along a trace path:
+/// `<path minus extension>.report.json`.
+pub fn report_path_for(trace_path: &Path) -> PathBuf {
+    trace_path.with_extension("report.json")
+}
+
+/// Writes `telemetry`'s Chrome trace to `trace_path` and its
+/// [`grtx_telemetry::TelemetryReport`] JSON to
+/// [`report_path_for`]`(trace_path)`.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidInput`] when `telemetry` is
+/// disabled (there is nothing to write), or any underlying filesystem
+/// error.
+pub fn write_trace(telemetry: &Telemetry, trace_path: &Path) -> std::io::Result<()> {
+    let trace = telemetry.chrome_trace().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "telemetry is disabled; no trace to write",
+        )
+    })?;
+    let report = telemetry
+        .report()
+        .expect("an enabled handle always has a report");
+    if let Some(parent) = trace_path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(trace_path, trace)?;
+    std::fs::write(report_path_for(trace_path), report.to_json())?;
+    Ok(())
+}
+
+/// [`write_trace`] to the [`TRACE_ENV`] path, returning where the trace
+/// landed — or `Ok(None)`, writing nothing, when the variable is unset.
+///
+/// # Errors
+///
+/// Propagates [`write_trace`] errors (including the disabled-handle
+/// error when the variable is set but `telemetry` never collected).
+pub fn write_trace_from_env(telemetry: &Telemetry) -> std::io::Result<Option<PathBuf>> {
+    match trace_path_from_env() {
+        Some(path) => {
+            write_trace(telemetry, &path)?;
+            Ok(Some(path))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_path_sits_next_to_the_trace() {
+        assert_eq!(
+            report_path_for(Path::new("out/trace.json")),
+            PathBuf::from("out/trace.report.json")
+        );
+        assert_eq!(
+            report_path_for(Path::new("trace")),
+            PathBuf::from("trace.report.json")
+        );
+    }
+
+    #[test]
+    fn disabled_handles_refuse_to_write() {
+        let err = write_trace(&Telemetry::disabled(), Path::new("/nonexistent/trace.json"))
+            .expect_err("disabled handle has nothing to write");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn write_trace_produces_both_artifacts() {
+        let telemetry = Telemetry::enabled();
+        telemetry.counter_add("test.counter", 3);
+        let mut recorder = telemetry.recorder("test-thread");
+        recorder.scope("test.span", 0, |_| ());
+        drop(recorder);
+        let dir = std::env::temp_dir().join(format!("grtx-trace-test-{}", std::process::id()));
+        let trace_path = dir.join("trace.json");
+        write_trace(&telemetry, &trace_path).expect("write succeeds");
+        let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("test.span"));
+        let report = std::fs::read_to_string(report_path_for(&trace_path)).expect("report written");
+        assert!(report.contains("grtx-telemetry-v1"));
+        assert!(report.contains("test.counter"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -61,6 +61,7 @@ use grtx_render::RenderEngine;
 use grtx_scene::{Camera, EffectObjects, GaussianScene};
 use grtx_shard::{ShardedAccel, ShardingSummary};
 use grtx_sim::GpuConfig;
+use grtx_telemetry::Telemetry;
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Everything the pipeline needs to turn a [`FrameSource`] into frames:
@@ -93,6 +94,11 @@ pub struct StreamConfig {
     pub gpu: GpuConfig,
     /// Effect objects applied to every frame's cameras, if any.
     pub effects: Option<EffectObjects>,
+    /// Telemetry handle. The default (disabled) handle records nothing;
+    /// an enabled one collects per-worker task spans, stage-handoff
+    /// histograms (frame latency, queue dwell, handoff depth), and
+    /// scheduler counters — without changing any frame result.
+    pub telemetry: Telemetry,
 }
 
 impl Default for StreamConfig {
@@ -109,6 +115,7 @@ impl Default for StreamConfig {
             render: RenderConfig::default(),
             gpu: GpuConfig::default(),
             effects: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -153,13 +160,14 @@ struct Built {
 /// `build_threads` workers when `shards` > 0.
 fn build_structure(scene: &GaussianScene, config: &StreamConfig, build_threads: usize) -> Built {
     if config.shards > 0 {
-        let sharded = ShardedAccel::build(
+        let sharded = ShardedAccel::build_traced(
             scene,
             config.primitive,
             config.two_level,
             &config.layout,
             config.shards,
             build_threads,
+            &config.telemetry,
         );
         let sharding = Some(sharded.summary());
         let accel = sharded.into_accel();
@@ -219,28 +227,50 @@ pub fn run_sequential(
     frames: usize,
     config: &StreamConfig,
 ) -> Vec<FrameResult> {
-    let engine = RenderEngine::new(config.gpu.clone()).with_threads(config.threads);
+    let engine = RenderEngine::new(config.gpu.clone())
+        .with_threads(config.threads)
+        .with_telemetry(config.telemetry.clone());
+    let telemetry = &config.telemetry;
+    let mut recorder = telemetry.recorder("stream-sequential");
     let mut results = Vec::with_capacity(frames);
     let mut scene: Option<Arc<GaussianScene>> = None;
     let mut built: Option<Arc<Built>> = None;
     for index in 0..frames {
-        let spec = source.frame(index);
-        let rebuilt = spec.scene.is_some();
-        if let Some(s) = spec.scene {
-            scene = Some(s);
-        }
-        let scene = scene.clone().expect("frame 0 must supply a scene");
-        if rebuilt || built.is_none() {
-            built = Some(Arc::new(build_structure(&scene, config, config.threads)));
-        }
-        let built = built.clone().expect("structure built above");
-        let reports = engine.render_batch(
-            &built.accel,
-            &scene,
-            &spec.cameras,
-            config.effects.as_ref(),
-            &config.render,
+        let frame_start = telemetry.now_us();
+        let (rebuilt, reports) = recorder.scope("pipeline.frame", index as u64, |rec| {
+            let spec = rec.scope("pipeline.update", index as u64, |_| source.frame(index));
+            let rebuilt = spec.scene.is_some();
+            if let Some(s) = spec.scene {
+                scene = Some(s);
+            }
+            let scene = scene.as_ref().expect("frame 0 must supply a scene");
+            if rebuilt || built.is_none() {
+                telemetry.counter_add("pipeline.rebuilds", 1);
+                built = Some(Arc::new(rec.scope("pipeline.build", index as u64, |_| {
+                    build_structure(scene, config, config.threads)
+                })));
+            } else {
+                telemetry.counter_add("pipeline.rebuild_skips", 1);
+            }
+            let built = built.as_ref().expect("structure built above");
+            let reports = rec.scope("pipeline.render", index as u64, |_| {
+                engine.render_batch(
+                    &built.accel,
+                    scene,
+                    &spec.cameras,
+                    config.effects.as_ref(),
+                    &config.render,
+                )
+            });
+            (rebuilt, reports)
+        });
+        telemetry.record_value(
+            "pipeline.frame_latency_us",
+            telemetry.now_us().saturating_sub(frame_start),
         );
+        telemetry.counter_add("pipeline.frames", 1);
+        let scene = scene.as_ref().expect("frame 0 must supply a scene");
+        let built = built.as_ref().expect("structure built above");
         results.push(FrameResult {
             index,
             gaussians: scene.len(),
@@ -278,6 +308,13 @@ struct Slot {
     merge_claimed: bool,
     /// Whether the merge completed.
     merged: bool,
+    /// Telemetry timestamps (µs since the handle's epoch; all `0` with
+    /// telemetry disabled): when the frame's update was claimed, when it
+    /// completed, and when the build completed — the anchors for the
+    /// frame-latency and queue-dwell histograms.
+    t_update_claim: u64,
+    t_update_done: u64,
+    t_build_done: u64,
 }
 
 /// A claimed unit of pool work.
@@ -361,7 +398,9 @@ impl<'a> Pipeline<'a> {
     }
 
     fn new(source: &'a dyn FrameSource, frames: usize, config: &'a StreamConfig) -> Self {
-        let engine = RenderEngine::new(config.gpu.clone()).with_threads(config.threads);
+        let engine = RenderEngine::new(config.gpu.clone())
+            .with_threads(config.threads)
+            .with_telemetry(config.telemetry.clone());
         let sms = engine.fragments_per_launch();
         // The shard builder's worker policy: 0 = all cores. No work-item
         // cap — the pool's parallel width (in-flight frames × cameras ×
@@ -397,7 +436,7 @@ impl<'a> Pipeline<'a> {
         std::thread::scope(|scope| {
             let this = &self;
             let handles: Vec<_> = (0..self.workers)
-                .map(|_| scope.spawn(move || this.worker()))
+                .map(|index| scope.spawn(move || this.worker(index)))
                 .collect();
             for handle in handles {
                 if let Err(payload) = handle.join() {
@@ -419,7 +458,11 @@ impl<'a> Pipeline<'a> {
 
     /// One pool worker: claim, execute, publish, until the stream is
     /// fully merged (or a sibling panicked).
-    fn worker(&self) {
+    fn worker(&self, index: usize) {
+        let mut recorder = self
+            .config
+            .telemetry
+            .recorder(format!("pipeline-worker-{index:02}"));
         loop {
             let task = {
                 let mut state = self.lock_state();
@@ -445,9 +488,26 @@ impl<'a> Pipeline<'a> {
                 }
             };
             // Execute outside the lock; a panic poisons the pipeline so
-            // sibling workers drain out, then re-raises.
+            // sibling workers drain out, then re-raises. Which worker
+            // runs which task is scheduling-dependent, so span *tracks*
+            // vary run to run — but the per-path span counts are
+            // deterministic (one update/build/merge per frame, one
+            // fragment per (camera, SM)).
+            let (span, key) = match &task {
+                Task::Update(n) => ("pipeline.update", *n),
+                Task::Build { frame, reuse, .. } => (
+                    if reuse.is_some() {
+                        "pipeline.build_reuse"
+                    } else {
+                        "pipeline.build"
+                    },
+                    *frame,
+                ),
+                Task::Fragment { frame, .. } => ("pipeline.fragment", *frame),
+                Task::Merge { frame, .. } => ("pipeline.merge", *frame),
+            };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.execute(task);
+                recorder.scope(span, key as u64, |_| self.execute(task));
             }));
             if let Err(payload) = outcome {
                 let mut state = self.lock_state();
@@ -491,6 +551,15 @@ impl<'a> Pipeline<'a> {
                 continue;
             }
             let slot = &mut state.slots[n];
+            if slot.issued == 0 {
+                // How long the built structure waited before any render
+                // fragment picked it up.
+                let now = self.config.telemetry.now_us();
+                self.config.telemetry.record_value(
+                    "pipeline.dwell.render_us",
+                    now.saturating_sub(slot.t_build_done),
+                );
+            }
             let fragment = slot.issued;
             slot.issued += 1;
             return Some(Task::Fragment {
@@ -510,6 +579,18 @@ impl<'a> Pipeline<'a> {
         {
             let n = state.build_claimed;
             state.build_claimed += 1;
+            let now = self.config.telemetry.now_us();
+            // Queue dwell: update finished → build claimed. Handoff
+            // depth: how far the build stage runs ahead of the oldest
+            // unmerged frame when it claims (bounded at 2 by design).
+            self.config.telemetry.record_value(
+                "pipeline.dwell.build_us",
+                now.saturating_sub(state.slots[n].t_update_done),
+            );
+            self.config.telemetry.record_value(
+                "pipeline.handoff.build_depth",
+                (n - state.merged_prefix) as u64,
+            );
             // Spare pool capacity for the nested sharded build: every
             // worker not currently executing a task, plus the one this
             // build will block while its scoped builders run.
@@ -542,8 +623,16 @@ impl<'a> Pipeline<'a> {
             && state.update_claimed - state.merged_prefix < self.depth
             && state.update_claimed - state.build_done < 3
         {
+            // Handoff depth: how far the update stage runs ahead of
+            // completed builds when it claims (bounded at 2 by design).
+            self.config.telemetry.record_value(
+                "pipeline.handoff.update_depth",
+                (state.update_claimed - state.build_done) as u64,
+            );
+            let n = state.update_claimed;
             state.update_claimed += 1;
-            return Some(Task::Update(state.update_claimed - 1));
+            state.slots[n].t_update_claim = self.config.telemetry.now_us();
+            return Some(Task::Update(n));
         }
         None
     }
@@ -603,9 +692,13 @@ impl<'a> Pipeline<'a> {
                 slot.scene_changed = scene_changed;
                 slot.launches = Some(Arc::new(launches));
                 slot.outcomes = (0..fragment_count).map(|_| None).collect();
+                slot.t_update_done = self.config.telemetry.now_us();
                 state.update_done = n + 1;
                 state.running -= 1;
                 drop(state);
+                self.config
+                    .telemetry
+                    .counter_add("pipeline.tasks.update", 1);
                 self.ready.notify_all();
             }
             Task::Build {
@@ -614,9 +707,16 @@ impl<'a> Pipeline<'a> {
                 reuse,
                 build_threads,
             } => {
+                let telemetry = &self.config.telemetry;
                 let built = match reuse {
-                    Some(built) => built,
-                    None => Arc::new(build_structure(&scene, self.config, build_threads)),
+                    Some(built) => {
+                        telemetry.counter_add("pipeline.rebuild_skips", 1);
+                        built
+                    }
+                    None => {
+                        telemetry.counter_add("pipeline.rebuilds", 1);
+                        Arc::new(build_structure(&scene, self.config, build_threads))
+                    }
                 };
                 // Drop the task-held scene clone before publishing, so
                 // "completed" implies "no task still pins the frame".
@@ -624,8 +724,10 @@ impl<'a> Pipeline<'a> {
                 let mut state = self.lock_state();
                 state.running -= 1;
                 state.slots[frame].built = Some(built);
+                state.slots[frame].t_build_done = telemetry.now_us();
                 state.build_done = frame + 1;
                 drop(state);
+                telemetry.counter_add("pipeline.tasks.build", 1);
                 self.ready.notify_all();
             }
             Task::Fragment {
@@ -655,6 +757,9 @@ impl<'a> Pipeline<'a> {
                 slot.outcomes[fragment] = Some(outcome);
                 slot.fragments_done += 1;
                 drop(state);
+                self.config
+                    .telemetry
+                    .counter_add("pipeline.tasks.fragment", 1);
                 self.ready.notify_all();
             }
             Task::Merge {
@@ -697,14 +802,23 @@ impl<'a> Pipeline<'a> {
                 drop(scene);
                 drop(built);
                 drop(launches);
+                let telemetry = &self.config.telemetry;
                 let mut state = self.lock_state();
                 state.running -= 1;
                 state.results[frame] = Some(result);
                 state.slots[frame].merged = true;
+                telemetry.record_value(
+                    "pipeline.frame_latency_us",
+                    telemetry
+                        .now_us()
+                        .saturating_sub(state.slots[frame].t_update_claim),
+                );
                 while state.merged_prefix < self.frames && state.slots[state.merged_prefix].merged {
                     state.merged_prefix += 1;
                 }
                 drop(state);
+                telemetry.counter_add("pipeline.tasks.merge", 1);
+                telemetry.counter_add("pipeline.frames", 1);
                 self.ready.notify_all();
             }
         }

@@ -1,6 +1,8 @@
 //! Quick wall-clock A/B for the ray-packet path: renders one scene with
-//! `ray_packets` on and off and prints both times. Not a committed
-//! baseline — run ad hoc when touching the packet machinery:
+//! `ray_packets` on and off and prints both times, plus the packet
+//! cache's hit/miss/eviction counters (via telemetry) for the on-path.
+//! Not a committed baseline — run ad hoc when touching the packet
+//! machinery:
 //!
 //! ```text
 //! cargo run --release -p grtx-render --example packet_timing
@@ -13,6 +15,7 @@ use grtx_render::engine::RenderEngine;
 use grtx_render::renderer::RenderConfig;
 use grtx_scene::{synth::generate_scene, Camera, CameraModel, SceneKind};
 use grtx_sim::GpuConfig;
+use grtx_telemetry::Telemetry;
 
 fn main() {
     let scene = generate_scene(SceneKind::Train.profile().with_gaussian_budget(40_000), 42);
@@ -35,17 +38,44 @@ fn main() {
             ray_packets: packets,
             ..Default::default()
         };
-        // Warm-up + best-of-3 to dodge scheduler noise.
+        // Warm-up + best-of-3 to dodge scheduler noise. Telemetry
+        // counters accumulate across repeats, so the cache report uses a
+        // fresh handle on the last (already warm) run only.
         let mut best = f64::INFINITY;
-        for _ in 0..4 {
+        let mut telemetry = Telemetry::disabled();
+        for repeat in 0..4 {
+            if repeat == 3 {
+                telemetry = Telemetry::enabled();
+            }
             let start = Instant::now();
             let report = RenderEngine::new(GpuConfig::default())
                 .with_threads(4)
+                .with_telemetry(telemetry.clone())
                 .render(&accel, &scene, &camera, None, &config);
             let secs = start.elapsed().as_secs_f64();
             best = best.min(secs);
             std::hint::black_box(report.cycles);
         }
         println!("{label}: best {best:.3} s");
+        if let Some(report) = telemetry.report() {
+            for counter in &report.counters {
+                println!("  {:<22} {:>12}", counter.name, counter.value);
+            }
+            let value = |name: &str| {
+                report
+                    .counters
+                    .iter()
+                    .find(|c| c.name == name)
+                    .map_or(0, |c| c.value)
+            };
+            let (calls, hits) = (value("packet.kernel_calls"), value("packet.cache_hits"));
+            if calls + hits > 0 {
+                println!(
+                    "  {:<22} {:>11.1}%",
+                    "cache hit rate",
+                    100.0 * hits as f64 / (calls + hits) as f64
+                );
+            }
+        }
     }
 }

@@ -54,11 +54,12 @@ use crate::blend::BlendState;
 use crate::image::Image;
 use crate::renderer::{shader_cycles, RenderConfig, RenderReport, SecondaryBreakdown};
 use crate::tracer::{RayTracer, TraceParams};
-use grtx_bvh::{AccelStruct, RayPacket4};
+use grtx_bvh::{AccelStruct, PacketCacheStats, RayPacket4};
 use grtx_math::Ray;
 use grtx_scene::{Camera, EffectObjects, GaussianScene};
 use grtx_sim::fasthash::FastMap;
 use grtx_sim::{GpuConfig, GpuSim, RayTraceState, WarpSchedule};
+use grtx_telemetry::Telemetry;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -139,6 +140,11 @@ pub struct SmOutcome {
     warp_times: Vec<(usize, (u64, u64))>,
     /// `(launch-local job index, final blend state)` for this SM's rays.
     blends: Vec<(usize, BlendState)>,
+    /// Packet node-test cache counters for this fragment's warps. Kept
+    /// out of [`grtx_sim::SimStats`] on purpose: packets must leave the
+    /// simulated statistics bit-identical, so their observability rides
+    /// on the side and reaches the user only through telemetry counters.
+    packet_stats: PacketCacheStats,
 }
 
 /// Whole-image renderer executing simulated SMs in parallel.
@@ -151,13 +157,18 @@ pub struct SmOutcome {
 pub struct RenderEngine {
     gpu: GpuConfig,
     threads: usize,
+    telemetry: Telemetry,
 }
 
 impl RenderEngine {
     /// Creates an engine for the given GPU configuration, using all
     /// available cores.
     pub fn new(gpu: GpuConfig) -> Self {
-        Self { gpu, threads: 0 }
+        Self {
+            gpu,
+            threads: 0,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// Sets the worker-thread count (`0` = all available cores). The
@@ -165,6 +176,15 @@ impl RenderEngine {
     /// the unit of parallel work.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a telemetry handle: render workers record per-fragment
+    /// spans and the merge publishes packet-cache counters. The default
+    /// (disabled) handle records nothing and costs one branch per event.
+    /// Telemetry never changes images, cycles, or statistics.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -291,17 +311,21 @@ impl RenderEngine {
             let handles: Vec<_> = (0..threads)
                 .map(|worker| {
                     scope.spawn(move || {
+                        let mut recorder = self
+                            .telemetry
+                            .recorder(format!("render-worker-{worker:02}"));
                         (worker..fragments)
                             .step_by(threads)
                             .map(|fragment| {
                                 let launch = &launches[fragment / num_sms];
                                 let sm = fragment % num_sms;
-                                (
-                                    fragment,
-                                    self.run_sm_fragment(
-                                        sm, schedule, accel, scene, config, launch, warp_size,
-                                    ),
-                                )
+                                let outcome =
+                                    recorder.scope("render.fragment", fragment as u64, |_| {
+                                        self.run_sm_fragment(
+                                            sm, schedule, accel, scene, config, launch, warp_size,
+                                        )
+                                    });
+                                (fragment, outcome)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -320,15 +344,19 @@ impl RenderEngine {
         // `WarpSchedule::launch_warp_bases`; here each camera's warps
         // merge launch-locally, which holds identical values.
         let mut outcomes = outcomes.into_iter();
+        let mut merge_recorder = self.telemetry.recorder("render-merge");
         launches
             .iter()
             .zip(cameras)
-            .map(|(launch, camera)| {
+            .enumerate()
+            .map(|(cam, (launch, camera))| {
                 let mine = outcomes
                     .by_ref()
                     .take(num_sms)
                     .map(|o| o.expect("every SM fragment ran"));
-                merge_camera(launch, camera, config, &schedule, mine)
+                merge_recorder.scope("render.merge", cam as u64, |_| {
+                    merge_camera(launch, camera, config, &schedule, mine, &self.telemetry)
+                })
             })
             .collect()
     }
@@ -408,7 +436,7 @@ impl RenderEngine {
             "merge needs exactly one outcome per SM, in SM order"
         );
         let schedule = WarpSchedule::new(&self.gpu);
-        merge_camera(launch, camera, config, &schedule, outcomes)
+        merge_camera(launch, camera, config, &schedule, outcomes, &self.telemetry)
     }
 
     /// Simulates one `(camera, SM)` fragment: the launch's primary warps
@@ -449,6 +477,7 @@ impl RenderEngine {
                 false,
             ),
         ];
+        let mut packet_stats = PacketCacheStats::default();
         for (jobs, warp_count, warp_base, job_base, packets) in phases {
             let my_warps: Vec<usize> = (0..warp_count)
                 .filter(|w| schedule.sm_of_launch_warp(warp_base + w) == sm)
@@ -462,6 +491,7 @@ impl RenderEngine {
                 &my_warps,
                 warp_size,
                 packets,
+                &mut packet_stats,
                 |warp, times| warp_times.push((warp_base + warp, times)),
                 |job, blend| blends.push((job_base + job, blend)),
             );
@@ -470,6 +500,7 @@ impl RenderEngine {
             sim,
             warp_times,
             blends,
+            packet_stats,
         }
     }
 }
@@ -483,12 +514,15 @@ fn merge_camera(
     config: &RenderConfig,
     schedule: &WarpSchedule,
     outcomes: impl IntoIterator<Item = SmOutcome>,
+    telemetry: &Telemetry,
 ) -> RenderReport {
     let mut warps = vec![(0u64, 0u64); launch.total_warps()];
     let mut primary_blends = vec![BlendState::new(); launch.primary_jobs.len()];
     let mut secondary_blends = vec![BlendState::new(); launch.secondary_jobs.len()];
     let mut agg: Option<GpuSim> = None;
+    let mut packet_totals = PacketCacheStats::default();
     for outcome in outcomes {
+        packet_totals.absorb(&outcome.packet_stats);
         for (warp, times) in &outcome.warp_times {
             warps[*warp] = *times;
         }
@@ -505,6 +539,13 @@ fn merge_camera(
         }
     }
     let sim = agg.expect("at least one SM fragment");
+    // Counter sums are order-independent, so these values are
+    // deterministic for a deterministic workload at any thread count.
+    if packet_totals.kernel_calls + packet_totals.cache_hits > 0 {
+        telemetry.counter_add("packet.kernel_calls", packet_totals.kernel_calls);
+        telemetry.counter_add("packet.cache_hits", packet_totals.cache_hits);
+        telemetry.counter_add("packet.evictions", packet_totals.evictions);
+    }
     compose_report(
         launch,
         camera,
@@ -590,6 +631,9 @@ struct WarpExec<'a> {
     compute: u64,
     stall: u64,
     index: usize,
+    /// The packets attached to this warp's tracers (empty when packets
+    /// are off); drained for cache counters when the warp retires.
+    packets: Vec<Rc<RefCell<RayPacket4>>>,
 }
 
 impl WarpExec<'_> {
@@ -616,6 +660,7 @@ fn run_warp_queue<'a>(
     warps: &[usize],
     warp_size: usize,
     packets: bool,
+    packet_stats: &mut PacketCacheStats,
     mut on_warp_done: impl FnMut(usize, (u64, u64)),
     mut on_blend: impl FnMut(usize, BlendState),
 ) {
@@ -636,6 +681,7 @@ fn run_warp_queue<'a>(
                 RayTracer::new(accel, scene, job.ray, params)
             })
             .collect();
+        let mut packet_handles = Vec::new();
         if packets {
             // A warp's jobs are consecutive row-major pixels, so quads
             // of four adjacent tracers form coherent packets sharing
@@ -652,6 +698,7 @@ fn run_warp_queue<'a>(
                 for lane in 0..4 {
                     tracers[q * 4 + lane].attach_packet(packet.clone(), lane);
                 }
+                packet_handles.push(packet);
             }
         }
         WarpExec {
@@ -660,6 +707,7 @@ fn run_warp_queue<'a>(
             compute: 0,
             stall: 0,
             index: w,
+            packets: packet_handles,
         }
     };
 
@@ -707,6 +755,9 @@ fn run_warp_queue<'a>(
         // Retire finished warps (back to front to keep indices valid).
         for &slot in finished.iter().rev() {
             let warp = resident.swap_remove(slot);
+            for packet in &warp.packets {
+                packet_stats.absorb(&packet.borrow().cache_stats());
+            }
             on_warp_done(warp.index, (warp.compute, warp.stall));
             let base = warp.index * warp_size;
             for (i, tracer) in warp.tracers.iter().enumerate() {

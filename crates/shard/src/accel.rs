@@ -25,7 +25,7 @@ use grtx_bvh::{
 };
 use grtx_math::Aabb;
 use grtx_scene::GaussianScene;
-use std::time::Instant;
+use grtx_telemetry::Telemetry;
 
 /// Per-shard build outcome and accounting.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +50,13 @@ pub struct ShardInfo {
 
 /// Deterministically merged sharding metadata, small enough to ride along
 /// in experiment results.
-#[derive(Debug, Clone)]
+///
+/// All `*_seconds` fields come from the telemetry clock of the build's
+/// [`Telemetry`] handle: wall-clock for the disabled/default handle and
+/// for [`grtx_telemetry::ClockMode::Wall`], and exactly `0.0` under
+/// [`grtx_telemetry::ClockMode::Null`] — which makes two null-clock
+/// builds comparable with plain `==`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardingSummary {
     /// Number of shards actually built (≤ requested for tiny scenes).
     pub shard_count: usize,
@@ -100,10 +106,36 @@ impl ShardedAccel {
         shards: usize,
         threads: usize,
     ) -> Self {
+        Self::build_traced(
+            scene,
+            primitive,
+            two_level,
+            layout,
+            shards,
+            threads,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// [`Self::build`] with telemetry: the planner, each shard subtree,
+    /// and the stitch record spans (`shard.plan`, `shard.subtree`,
+    /// `shard.assemble`), and the summary's wall-clock seconds route
+    /// through the handle's clock. A disabled handle reproduces
+    /// [`Self::build`] exactly; telemetry never changes the structure.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_traced(
+        scene: &GaussianScene,
+        primitive: BoundingPrimitive,
+        two_level: bool,
+        layout: &LayoutConfig,
+        shards: usize,
+        threads: usize,
+        telemetry: &Telemetry,
+    ) -> Self {
         if two_level {
             let prims = TwoLevelBvh::tlas_build_prims(scene);
             let config = TwoLevelBvh::tlas_builder_config(layout);
-            let mut built = build_wide_parallel(&prims, &config, shards, threads);
+            let mut built = build_wide_parallel(&prims, &config, shards, threads, telemetry);
             let two =
                 TwoLevelBvh::from_tlas(scene, primitive, layout, std::mem::take(&mut built.wide));
             let global = two.size_report;
@@ -120,7 +152,8 @@ impl ShardedAccel {
                 BoundingPrimitive::CustomEllipsoid => {
                     let prims = MonolithicBvh::custom_build_prims(scene);
                     let config = MonolithicBvh::builder_config(layout);
-                    let mut built = build_wide_parallel(&prims, &config, shards, threads);
+                    let mut built =
+                        build_wide_parallel(&prims, &config, shards, threads, telemetry);
                     let mono =
                         MonolithicBvh::assemble_custom(std::mem::take(&mut built.wide), layout);
                     let global = mono.size_report;
@@ -136,7 +169,8 @@ impl ShardedAccel {
                     let (prims, verts, gaussian_of) =
                         MonolithicBvh::mesh_build_prims(scene, primitive);
                     let config = MonolithicBvh::builder_config(layout);
-                    let mut built = build_wide_parallel(&prims, &config, shards, threads);
+                    let mut built =
+                        build_wide_parallel(&prims, &config, shards, threads, telemetry);
                     let wide = std::mem::take(&mut built.wide);
                     let mono =
                         MonolithicBvh::assemble_mesh(primitive, verts, gaussian_of, wide, layout);
@@ -352,16 +386,20 @@ fn build_wide_parallel(
     config: &BuilderConfig,
     shards: usize,
     threads: usize,
+    telemetry: &Telemetry,
 ) -> ParallelWide {
-    let plan_start = Instant::now();
+    let mut recorder = telemetry.recorder("shard-build");
+    let plan_watch = telemetry.stopwatch();
     let mut indices: Vec<u32> = (0..prims.len() as u32).collect();
-    let plan = plan_frontier(prims, &mut indices, shards, config);
-    let plan_seconds = plan_start.elapsed().as_secs_f64();
+    let plan = recorder.scope("shard.plan", 0, |_| {
+        plan_frontier(prims, &mut indices, shards, config)
+    });
+    let plan_seconds = plan_watch.seconds();
     let ranges = plan.ranges().to_vec();
     let k = ranges.len();
     let threads_used = effective_threads(threads, k);
 
-    let build_start = Instant::now();
+    let build_watch = telemetry.stopwatch();
     let mut results: Vec<Option<(BinarySubtree, f64)>> = (0..k).map(|_| None).collect();
     {
         // Hand each worker its shards' disjoint index slices: shard `s`
@@ -379,13 +417,17 @@ fn build_wide_parallel(
         std::thread::scope(|scope| {
             let handles: Vec<_> = per_worker
                 .into_iter()
-                .map(|mine| {
+                .enumerate()
+                .map(|(worker, mine)| {
                     scope.spawn(move || {
+                        let mut recorder = telemetry.recorder(format!("shard-worker-{worker:02}"));
                         mine.into_iter()
                             .map(|(i, slice)| {
-                                let start = Instant::now();
-                                let subtree = build_subtree(prims, slice, config);
-                                (i, subtree, start.elapsed().as_secs_f64())
+                                let watch = telemetry.stopwatch();
+                                let subtree = recorder.scope("shard.subtree", i as u64, |_| {
+                                    build_subtree(prims, slice, config)
+                                });
+                                (i, subtree, watch.seconds())
                             })
                             .collect::<Vec<_>>()
                     })
@@ -398,7 +440,7 @@ fn build_wide_parallel(
             }
         });
     }
-    let build_seconds = build_start.elapsed().as_secs_f64();
+    let build_seconds = build_watch.seconds();
 
     let mut subtrees = Vec::with_capacity(k);
     let mut shard_seconds = Vec::with_capacity(k);
@@ -407,9 +449,11 @@ fn build_wide_parallel(
         subtrees.push(subtree);
         shard_seconds.push(seconds);
     }
-    let assemble_start = Instant::now();
-    let wide = assemble_wide_bvh(&plan, subtrees, indices);
-    let assemble_seconds = assemble_start.elapsed().as_secs_f64();
+    let assemble_watch = telemetry.stopwatch();
+    let wide = recorder.scope("shard.assemble", 0, |_| {
+        assemble_wide_bvh(&plan, subtrees, indices)
+    });
+    let assemble_seconds = assemble_watch.seconds();
 
     ParallelWide {
         wide,

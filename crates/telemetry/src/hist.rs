@@ -1,0 +1,175 @@
+//! A compact HDR-style histogram: log-linear buckets with 32 sub-buckets
+//! per power of two (≤ ~3% relative error on reported percentiles),
+//! fixed memory, O(1) record.
+
+/// Sub-buckets per power-of-two group. Values below `SUB` are exact.
+const SUB: u64 = 32;
+/// log2(SUB).
+const SUB_BITS: u32 = 5;
+/// Bucket count: `SUB` exact buckets plus 32 sub-buckets for each of the
+/// remaining 59 power-of-two groups of a `u64`.
+const BUCKETS: usize = (SUB as usize) + 32 * (64 - SUB_BITS as usize);
+
+/// Fixed-size log-linear histogram of `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: exact below [`SUB`], then 32 log-linear
+/// sub-buckets per power of two.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let group = 63 - v.leading_zeros(); // ≥ SUB_BITS
+        let sub = (v >> (group - SUB_BITS)) & (SUB - 1);
+        SUB as usize + ((group - SUB_BITS) as usize) * 32 + sub as usize
+    }
+}
+
+/// Lowest value a bucket can hold (the reported representative — a
+/// conservative lower bound, so percentiles never overstate).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUB as usize {
+        index as u64
+    } else {
+        let rest = index - SUB as usize;
+        let group = (rest / 32) as u32 + SUB_BITS;
+        let sub = (rest % 32) as u64;
+        (1u64 << group) + (sub << (group - SUB_BITS))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The value at or below which `q` percent of samples fall, to
+    /// bucket resolution (≤ ~3% relative error; exact below 32). `0`
+    /// when empty. The 100th percentile reports the exact max.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::default();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.percentile(50.0), 15);
+        assert_eq!(h.percentile(100.0), 31);
+        assert_eq!(h.percentile(3.125), 0);
+    }
+
+    #[test]
+    fn large_values_have_bounded_error() {
+        let mut h = Histogram::default();
+        for v in [1_000u64, 10_000, 100_000, 1_000_000] {
+            h.record(v);
+        }
+        // p50 lands in the bucket of the 2nd sample; its floor is within
+        // 1/32 of a power of two below the true value.
+        let p50 = h.percentile(50.0);
+        assert!(p50 <= 10_000 && p50 as f64 >= 10_000.0 * (1.0 - 1.0 / 32.0) - 512.0);
+        assert_eq!(h.percentile(100.0), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of() {
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1 << 20, u64::MAX / 2] {
+            let b = bucket_of(v);
+            let floor = bucket_floor(b);
+            assert!(floor <= v, "floor {floor} must not exceed value {v}");
+            // The next bucket's floor must exceed v.
+            assert!(bucket_floor(b + 1) > v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn skewed_distribution_percentiles_are_ordered() {
+        let mut h = Histogram::default();
+        for i in 0..1000u64 {
+            h.record(i * i);
+        }
+        let (p50, p95, p99, max) = (
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+            h.max(),
+        );
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= max);
+        assert_eq!(max, 999 * 999);
+        // p50 of i² over 0..1000 is ~ 500² = 250_000 within bucket error.
+        assert!((p50 as f64 - 249_001.0).abs() / 249_001.0 < 0.05);
+    }
+}

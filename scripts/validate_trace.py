@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Minimal schema check for grtx telemetry artifacts.
+
+Usage: validate_trace.py <chrome-trace.json> <telemetry-report.json>
+
+Validates that the Chrome trace is loadable trace-event JSON with
+per-thread name metadata and well-formed complete events, and that the
+TelemetryReport JSON carries the v1 schema with the span/counter/
+histogram sections the pipeline is expected to populate. Exits non-zero
+with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path: str) -> None:
+    with open(path) as f:
+        trace = json.load(f)
+    if trace.get("displayTimeUnit") != "ms":
+        fail("trace missing displayTimeUnit=ms")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace has no traceEvents")
+    threads = {}
+    spans = 0
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "thread_name":
+                fail(f"unexpected metadata event {event}")
+            threads[event["tid"]] = event["args"]["name"]
+        elif ph == "X":
+            for key in ("pid", "tid", "name", "ts", "dur"):
+                if key not in event:
+                    fail(f"complete event missing {key}: {event}")
+            if event["ts"] < 0 or event["dur"] < 0:
+                fail(f"negative timestamp in {event}")
+            spans += 1
+        else:
+            fail(f"unexpected event phase {ph!r}")
+    if not threads:
+        fail("trace names no threads")
+    if spans == 0:
+        fail("trace contains no spans")
+    orphans = {e["tid"] for e in events if e["ph"] == "X"} - set(threads)
+    if orphans:
+        fail(f"span tids without thread_name metadata: {sorted(orphans)}")
+    named = sorted(set(threads.values()))
+    print(f"validate_trace: trace OK — {spans} spans on {len(threads)} threads: {named}")
+
+
+def validate_report(path: str) -> None:
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "grtx-telemetry-v1":
+        fail("report schema is not grtx-telemetry-v1")
+    for section in ("spans", "counters", "histograms", "threads"):
+        if not isinstance(report.get(section), list):
+            fail(f"report missing list section {section!r}")
+    for span in report["spans"]:
+        for key in ("path", "count", "total_us", "max_us"):
+            if key not in span:
+                fail(f"span row missing {key}: {span}")
+    for counter in report["counters"]:
+        if "name" not in counter or "value" not in counter:
+            fail(f"malformed counter row: {counter}")
+    for hist in report["histograms"]:
+        for key in ("name", "count", "p50", "p95", "p99", "max"):
+            if key not in hist:
+                fail(f"histogram row missing {key}: {hist}")
+        if not hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]:
+            fail(f"histogram percentiles out of order: {hist}")
+    hist_names = {h["name"] for h in report["histograms"]}
+    for expected in ("pipeline.frame_latency_us", "pipeline.handoff.build_depth"):
+        if expected not in hist_names:
+            fail(f"report missing expected histogram {expected!r}")
+    print(
+        "validate_trace: report OK — "
+        f"{len(report['spans'])} span paths, {len(report['counters'])} counters, "
+        f"{len(report['histograms'])} histograms"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: validate_trace.py <chrome-trace.json> <telemetry-report.json>")
+    validate_trace(sys.argv[1])
+    validate_report(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
