@@ -1,0 +1,117 @@
+#![forbid(unsafe_code)]
+
+//! CLI for the workspace determinism-lint engine.
+//!
+//! ```text
+//! grtx-analyze [--root PATH] [--json [PATH]] [--deny] [--list]
+//! ```
+//!
+//! * `--root PATH` — workspace root to scan (default: current dir).
+//! * `--json [PATH]` — emit the `grtx-analyze-v1` JSON report to PATH
+//!   (or stdout when no path follows).
+//! * `--deny` — exit non-zero if any finding survives waiver matching
+//!   (the CI gate).
+//! * `--list` — print the lint table and exit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use grtx_analyze::{analyze_workspace, LINTS};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut json: Option<Option<PathBuf>> = None;
+    let mut list = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => return usage("--root needs a path"),
+                }
+            }
+            "--json" => {
+                // Optional path operand: consume the next arg unless it
+                // is another flag.
+                match args.get(i + 1) {
+                    Some(p) if !p.starts_with("--") => {
+                        json = Some(Some(PathBuf::from(p)));
+                        i += 1;
+                    }
+                    _ => json = Some(None),
+                }
+            }
+            "--deny" => deny = true,
+            "--list" => list = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    if list {
+        for l in LINTS {
+            println!("{:<28} {}", l.id, l.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("grtx-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match &json {
+        Some(Some(path)) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("grtx-analyze: create {}: {e}", parent.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("grtx-analyze: write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            eprint!("{}", report.to_text());
+            eprintln!("grtx-analyze: JSON report written to {}", path.display());
+        }
+        Some(None) => {
+            println!("{}", report.to_json());
+            eprint!("{}", report.to_text());
+        }
+        None => print!("{}", report.to_text()),
+    }
+
+    if deny && !report.is_clean() {
+        eprintln!(
+            "grtx-analyze: --deny: {} finding(s) — fix or waive with \
+             `// grtx-allow(<lint-id>): <reason>`",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("grtx-analyze: {err}");
+    }
+    eprintln!("usage: grtx-analyze [--root PATH] [--json [PATH]] [--deny] [--list]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

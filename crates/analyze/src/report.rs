@@ -1,0 +1,255 @@
+//! Report assembly and rendering: human text and `grtx-analyze-v1` JSON.
+//!
+//! The JSON writer is hand-rolled (the crate is zero-dependency by
+//! design) and emits a stable field order so reports diff cleanly.
+
+use crate::lints::{lint_rationale, Finding, WaiverRecord, LINTS};
+
+/// Aggregated result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Path the analysis ran over (workspace root), for provenance.
+    pub root: String,
+    /// Package names of the scanned crates, sorted.
+    pub crates: Vec<String>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Every waiver encountered, sorted by (file, line).
+    pub waivers: Vec<WaiverRecord>,
+}
+
+impl Report {
+    /// `true` when the workspace is lint-clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of waivers that suppressed at least one finding.
+    pub fn waived_count(&self) -> usize {
+        self.waivers.iter().filter(|w| w.used).count()
+    }
+
+    /// Human-readable rendering: one `file:line: [lint] message` row per
+    /// finding plus a summary footer.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.lint, f.message
+            ));
+            let rationale = lint_rationale(f.lint);
+            if !rationale.is_empty() {
+                out.push_str(&format!("    rationale: {rationale}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "grtx-analyze: {} file(s), {} crate(s): {} finding(s), {} waiver(s) ({} active)\n",
+            self.files_scanned,
+            self.crates.len(),
+            self.findings.len(),
+            self.waivers.len(),
+            self.waived_count(),
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (schema `grtx-analyze-v1`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open_object();
+        w.field_str("schema", "grtx-analyze-v1");
+        w.field_str("root", &self.root);
+        w.key("crates");
+        w.open_array();
+        for c in &self.crates {
+            w.array_str(c);
+        }
+        w.close_array();
+        w.field_num("files_scanned", self.files_scanned as i64);
+
+        w.key("lints");
+        w.open_array();
+        for l in LINTS {
+            w.open_object();
+            w.field_str("id", l.id);
+            w.field_str("summary", l.summary);
+            w.field_str("rationale", l.rationale);
+            w.close_object();
+        }
+        w.close_array();
+
+        w.key("findings");
+        w.open_array();
+        for f in &self.findings {
+            w.open_object();
+            w.field_str("lint", f.lint);
+            w.field_str("file", &f.file);
+            w.field_num("line", f.line as i64);
+            w.field_str("message", &f.message);
+            w.field_str("rationale", lint_rationale(f.lint));
+            w.close_object();
+        }
+        w.close_array();
+
+        w.key("waivers");
+        w.open_array();
+        for wv in &self.waivers {
+            w.open_object();
+            w.field_str("lint", &wv.lint);
+            w.field_str("file", &wv.file);
+            w.field_num("line", wv.line as i64);
+            w.field_str("reason", &wv.reason);
+            w.field_bool("used", wv.used);
+            w.close_object();
+        }
+        w.close_array();
+
+        w.key("counts");
+        w.open_object();
+        w.field_num("findings", self.findings.len() as i64);
+        w.field_num("waivers", self.waivers.len() as i64);
+        w.field_num("waivers_active", self.waived_count() as i64);
+        w.close_object();
+
+        w.close_object();
+        w.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON writer.
+
+struct JsonWriter {
+    out: String,
+    /// Per-open-container flag: does the current container already hold
+    /// an element (so the next one needs a comma)?
+    needs_comma: Vec<bool>,
+    /// Set right after a key is written: the value that follows must
+    /// not emit a separator of its own.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        Self {
+            out: String::new(),
+            needs_comma: vec![false],
+            after_key: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    fn open_object(&mut self) {
+        self.sep();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    fn close_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    fn open_array(&mut self) {
+        self.sep();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    fn close_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.sep();
+        self.out.push_str(&escape(k));
+        self.out.push(':');
+        self.after_key = true;
+    }
+
+    fn field_str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.array_str(v);
+    }
+
+    fn field_num(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.sep();
+        self.out.push_str(&v.to_string());
+    }
+
+    fn field_bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.sep();
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    fn array_str(&mut self, v: &str) {
+        self.sep();
+        self.out.push_str(&escape(v));
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_report_is_valid_shape() {
+        let r = Report {
+            root: "/tmp/x".into(),
+            crates: vec!["grtx-math".into()],
+            files_scanned: 3,
+            ..Report::default()
+        };
+        let json = r.to_json();
+        assert!(json.starts_with("{\"schema\":\"grtx-analyze-v1\""));
+        assert!(json.contains("\"findings\":[]"));
+        assert!(json.contains("\"counts\":{\"findings\":0"));
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,37 @@
+//! Self-check: the live workspace must pass its own determinism lints.
+//! This is the same scan CI runs with `--deny`; keeping it in the test
+//! suite means `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_analyzer_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = grtx_analyze::analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "determinism lints fired on the live workspace:\n{}",
+        report.to_text()
+    );
+    // Sanity: the scan actually visited the tree (all ten product crates
+    // plus this one) rather than vacuously passing on an empty dir.
+    assert!(
+        report.crates.len() >= 11,
+        "expected the full workspace, scanned: {:?}",
+        report.crates
+    );
+    assert!(
+        report.files_scanned > 50,
+        "only {} files",
+        report.files_scanned
+    );
+    // Every waiver in the tree must suppress a real finding — stale
+    // waivers are contract exceptions with nothing left to excuse.
+    for w in &report.waivers {
+        assert!(
+            w.used,
+            "stale waiver at {}:{} for {}",
+            w.file, w.line, w.lint
+        );
+    }
+}

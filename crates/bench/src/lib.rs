@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared support for the paper-reproduction bench harnesses.
 //!
 //! Every bench target regenerates one table or figure from the paper's

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Acceleration structures for Gaussian ray tracing.
 //!
 //! This crate implements both BVH organizations the paper compares:

@@ -343,7 +343,7 @@ mod tests {
         // Ray through Gaussian 0 at the origin, offset slightly so it
         // cannot pass exactly through a proxy-mesh edge.
         let ray = Ray::new(Vec3::new(0.05, 0.03, -5.0), Vec3::Z);
-        let mut hits_per_gaussian = std::collections::HashMap::new();
+        let mut hits_per_gaussian = std::collections::BTreeMap::new();
         for pos in 0..m.bvh.prim_count() as u32 {
             if let Some((g, _t)) = m.intersect_prim(&scene, pos, &ray) {
                 *hits_per_gaussian.entry(g).or_insert(0u32) += 1;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # GRTX — Efficient Ray Tracing for 3D Gaussian-Based Rendering
 //!
 //! A full reproduction of the HPCA 2026 paper *"GRTX: Efficient Ray

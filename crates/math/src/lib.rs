@@ -1,3 +1,5 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+
 //! Linear algebra and geometric intersection primitives for GRTX.
 //!
 //! This crate is the lowest-level substrate of the GRTX reproduction. It
@@ -17,6 +19,27 @@
 //! let hit = ray_sphere_unit(&ray).expect("ray points at the unit sphere");
 //! assert!((hit.t_enter - 2.0).abs() < 1e-6);
 //! ```
+//!
+//! # Safety
+//!
+//! `grtx-math` is the **only** workspace crate allowed to contain
+//! `unsafe` code — every other crate pins `#![forbid(unsafe_code)]`,
+//! and `cargo run -p grtx-analyze -- --deny` enforces both sides of
+//! that boundary. All unsafe lives in [`simd`] and falls into exactly
+//! three shapes, each annotated with a `SAFETY:` comment at the site:
+//!
+//! 1. **Target-feature dispatch** — calling an AVX2
+//!    `#[target_feature]` kernel after
+//!    `is_x86_feature_detected!` confirmed the CPU support;
+//! 2. **Aligned/unaligned vector loads and stores** — raw-pointer
+//!    intrinsics over `#[repr(C, align(32))]`/`align(16)` SoA arrays
+//!    whose layout guarantees in-bounds, sufficiently-aligned access;
+//! 3. **Baseline-feature intrinsics** — NEON value ops on `aarch64`
+//!    (mandatory feature) and SSE2 on `x86-64` (baseline feature).
+//!
+//! `#![deny(unsafe_op_in_unsafe_fn)]` keeps those obligations visible:
+//! every unsafe operation needs its own `unsafe { }` block (and
+//! `SAFETY:` comment) even inside `unsafe fn` bodies.
 
 pub mod aabb;
 pub mod intersect;

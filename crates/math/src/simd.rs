@@ -420,8 +420,10 @@ impl Tri4Hit {
 pub fn ray_triangle_4(ray: &Ray, tris: &Tri4) -> Tri4Hit {
     #[cfg(target_arch = "x86_64")]
     {
-        // SSE2 is a baseline feature of x86-64.
-        return unsafe { x86::ray_triangle_4_sse2(ray, tris) };
+        // SSE2 is a baseline feature of x86-64, so the batched kernel
+        // needs no dispatch; its internal loads are covered by Tri4's
+        // `repr(C, align(16))` layout.
+        return x86::ray_triangle_4_sse2(ray, tris);
     }
     #[cfg(target_arch = "aarch64")]
     {
@@ -520,19 +522,35 @@ mod x86 {
     /// keeps the first source argument just like the scalar code), then
     /// a blend to `b` where `a` is NaN (`minps` already returns `a` when
     /// `b` is NaN).
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the `avx2` target feature is available.
     #[inline]
     unsafe fn min_num(a: __m256, b: __m256) -> __m256 {
-        let m = _mm256_min_ps(b, a);
-        let a_nan = _mm256_cmp_ps(a, a, _CMP_UNORD_Q);
-        _mm256_blendv_ps(m, b, a_nan)
+        // SAFETY: register-only value ops (no memory access); the avx2
+        // precondition is the fn's own contract, guaranteed by callers.
+        unsafe {
+            let m = _mm256_min_ps(b, a);
+            let a_nan = _mm256_cmp_ps(a, a, _CMP_UNORD_Q);
+            _mm256_blendv_ps(m, b, a_nan)
+        }
     }
 
     /// IEEE maxNum (Rust `f32::max`); mirror of [`min_num`].
+    ///
+    /// # Safety
+    ///
+    /// Callers must ensure the `avx2` target feature is available.
     #[inline]
     unsafe fn max_num(a: __m256, b: __m256) -> __m256 {
-        let m = _mm256_max_ps(b, a);
-        let a_nan = _mm256_cmp_ps(a, a, _CMP_UNORD_Q);
-        _mm256_blendv_ps(m, b, a_nan)
+        // SAFETY: register-only value ops (no memory access); the avx2
+        // precondition is the fn's own contract, guaranteed by callers.
+        unsafe {
+            let m = _mm256_max_ps(b, a);
+            let a_nan = _mm256_cmp_ps(a, a, _CMP_UNORD_Q);
+            _mm256_blendv_ps(m, b, a_nan)
+        }
     }
 
     /// One node's six lane arrays held in registers, so the packet
@@ -554,14 +572,19 @@ mod x86 {
     /// Callers must ensure the `avx2` target feature is available.
     #[target_feature(enable = "avx2")]
     unsafe fn load_node(boxes: &SoaAabbs) -> NodeRegs {
-        // SoaAabbs is #[repr(C, align(32))] with 32-byte lane arrays.
-        NodeRegs {
-            min_x: _mm256_load_ps(boxes.min_x.as_ptr()),
-            min_y: _mm256_load_ps(boxes.min_y.as_ptr()),
-            min_z: _mm256_load_ps(boxes.min_z.as_ptr()),
-            max_x: _mm256_load_ps(boxes.max_x.as_ptr()),
-            max_y: _mm256_load_ps(boxes.max_y.as_ptr()),
-            max_z: _mm256_load_ps(boxes.max_z.as_ptr()),
+        // SAFETY: `SoaAabbs` is `#[repr(C, align(32))]` and each lane
+        // array is `[f32; 8]` = 32 bytes, so every load is in-bounds
+        // and 32-byte aligned as `_mm256_load_ps` requires; the avx2
+        // requirement is met by this fn's own `target_feature`.
+        unsafe {
+            NodeRegs {
+                min_x: _mm256_load_ps(boxes.min_x.as_ptr()),
+                min_y: _mm256_load_ps(boxes.min_y.as_ptr()),
+                min_z: _mm256_load_ps(boxes.min_z.as_ptr()),
+                max_x: _mm256_load_ps(boxes.max_x.as_ptr()),
+                max_y: _mm256_load_ps(boxes.max_y.as_ptr()),
+                max_z: _mm256_load_ps(boxes.max_z.as_ptr()),
+            }
         }
     }
 
@@ -575,62 +598,69 @@ mod x86 {
     #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
     #[cfg_attr(feature = "fma", target_feature(enable = "avx2,fma"))]
     unsafe fn slab_ray(ray: &RayInv, node: &NodeRegs, lane_mask: u8) -> HitMask8 {
-        let ox = _mm256_set1_ps(ray.origin.x);
-        let oy = _mm256_set1_ps(ray.origin.y);
-        let oz = _mm256_set1_ps(ray.origin.z);
-        let ix = _mm256_set1_ps(ray.inv_direction.x);
-        let iy = _mm256_set1_ps(ray.inv_direction.y);
-        let iz = _mm256_set1_ps(ray.inv_direction.z);
-        #[cfg(not(feature = "fma"))]
-        let (t0x, t1x, t0y, t1y, t0z, t1z) = (
-            _mm256_mul_ps(_mm256_sub_ps(node.min_x, ox), ix),
-            _mm256_mul_ps(_mm256_sub_ps(node.max_x, ox), ix),
-            _mm256_mul_ps(_mm256_sub_ps(node.min_y, oy), iy),
-            _mm256_mul_ps(_mm256_sub_ps(node.max_y, oy), iy),
-            _mm256_mul_ps(_mm256_sub_ps(node.min_z, oz), iz),
-            _mm256_mul_ps(_mm256_sub_ps(node.max_z, oz), iz),
-        );
-        // Contracted form mirroring the portable `fma` path:
-        // fmsub(slab, i, o*i) == fma(slab, i, -(o*i)) exactly (the
-        // addend negation is sign-flip only, never a rounding step).
-        #[cfg(feature = "fma")]
-        let (t0x, t1x, t0y, t1y, t0z, t1z) = {
-            let (px, py, pz) = (
-                _mm256_mul_ps(ox, ix),
-                _mm256_mul_ps(oy, iy),
-                _mm256_mul_ps(oz, iz),
+        // SAFETY: everything here is register-only value math except
+        // the two `_mm256_storeu_ps` stores, which write 8 f32s into
+        // the freshly declared `[f32; LANES]` stack arrays (in-bounds;
+        // unaligned stores have no alignment requirement). The feature
+        // preconditions are this fn's own contract.
+        unsafe {
+            let ox = _mm256_set1_ps(ray.origin.x);
+            let oy = _mm256_set1_ps(ray.origin.y);
+            let oz = _mm256_set1_ps(ray.origin.z);
+            let ix = _mm256_set1_ps(ray.inv_direction.x);
+            let iy = _mm256_set1_ps(ray.inv_direction.y);
+            let iz = _mm256_set1_ps(ray.inv_direction.z);
+            #[cfg(not(feature = "fma"))]
+            let (t0x, t1x, t0y, t1y, t0z, t1z) = (
+                _mm256_mul_ps(_mm256_sub_ps(node.min_x, ox), ix),
+                _mm256_mul_ps(_mm256_sub_ps(node.max_x, ox), ix),
+                _mm256_mul_ps(_mm256_sub_ps(node.min_y, oy), iy),
+                _mm256_mul_ps(_mm256_sub_ps(node.max_y, oy), iy),
+                _mm256_mul_ps(_mm256_sub_ps(node.min_z, oz), iz),
+                _mm256_mul_ps(_mm256_sub_ps(node.max_z, oz), iz),
             );
-            (
-                _mm256_fmsub_ps(node.min_x, ix, px),
-                _mm256_fmsub_ps(node.max_x, ix, px),
-                _mm256_fmsub_ps(node.min_y, iy, py),
-                _mm256_fmsub_ps(node.max_y, iy, py),
-                _mm256_fmsub_ps(node.min_z, iz, pz),
-                _mm256_fmsub_ps(node.max_z, iz, pz),
-            )
-        };
-        let near_x = min_num(t0x, t1x);
-        let near_y = min_num(t0y, t1y);
-        let near_z = min_num(t0z, t1z);
-        let far_x = max_num(t0x, t1x);
-        let far_y = max_num(t0y, t1y);
-        let far_z = max_num(t0z, t1z);
-        // `+ 0.0` canonicalizes `-0.0` to `+0.0`, as in the scalar test.
-        let zero = _mm256_setzero_ps();
-        let enter = _mm256_add_ps(
-            max_num(max_num(max_num(near_x, near_y), near_z), zero),
-            zero,
-        );
-        let exit = _mm256_add_ps(min_num(min_num(far_x, far_y), far_z), zero);
-        let hit = _mm256_cmp_ps(enter, exit, _CMP_LE_OQ);
-        let mut t_enter = [0.0f32; super::LANES];
-        let mut t_exit = [0.0f32; super::LANES];
-        _mm256_storeu_ps(t_enter.as_mut_ptr(), enter);
-        _mm256_storeu_ps(t_exit.as_mut_ptr(), exit);
-        HitMask8 {
-            t_enter,
-            t_exit,
-            mask: (_mm256_movemask_ps(hit) as u8) & lane_mask,
+            // Contracted form mirroring the portable `fma` path:
+            // fmsub(slab, i, o*i) == fma(slab, i, -(o*i)) exactly (the
+            // addend negation is sign-flip only, never a rounding step).
+            #[cfg(feature = "fma")]
+            let (t0x, t1x, t0y, t1y, t0z, t1z) = {
+                let (px, py, pz) = (
+                    _mm256_mul_ps(ox, ix),
+                    _mm256_mul_ps(oy, iy),
+                    _mm256_mul_ps(oz, iz),
+                );
+                (
+                    _mm256_fmsub_ps(node.min_x, ix, px),
+                    _mm256_fmsub_ps(node.max_x, ix, px),
+                    _mm256_fmsub_ps(node.min_y, iy, py),
+                    _mm256_fmsub_ps(node.max_y, iy, py),
+                    _mm256_fmsub_ps(node.min_z, iz, pz),
+                    _mm256_fmsub_ps(node.max_z, iz, pz),
+                )
+            };
+            let near_x = min_num(t0x, t1x);
+            let near_y = min_num(t0y, t1y);
+            let near_z = min_num(t0z, t1z);
+            let far_x = max_num(t0x, t1x);
+            let far_y = max_num(t0y, t1y);
+            let far_z = max_num(t0z, t1z);
+            // `+ 0.0` canonicalizes `-0.0` to `+0.0`, as in the scalar test.
+            let zero = _mm256_setzero_ps();
+            let enter = _mm256_add_ps(
+                max_num(max_num(max_num(near_x, near_y), near_z), zero),
+                zero,
+            );
+            let exit = _mm256_add_ps(min_num(min_num(far_x, far_y), far_z), zero);
+            let hit = _mm256_cmp_ps(enter, exit, _CMP_LE_OQ);
+            let mut t_enter = [0.0f32; super::LANES];
+            let mut t_exit = [0.0f32; super::LANES];
+            _mm256_storeu_ps(t_enter.as_mut_ptr(), enter);
+            _mm256_storeu_ps(t_exit.as_mut_ptr(), exit);
+            HitMask8 {
+                t_enter,
+                t_exit,
+                mask: (_mm256_movemask_ps(hit) as u8) & lane_mask,
+            }
         }
     }
 
@@ -643,8 +673,14 @@ mod x86 {
     #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
     #[cfg_attr(feature = "fma", target_feature(enable = "avx2,fma"))]
     pub unsafe fn slab_test_8_avx2(ray: &RayInv, boxes: &SoaAabbs) -> HitMask8 {
-        let node = load_node(boxes);
-        slab_ray(ray, &node, boxes.lane_mask())
+        // SAFETY: this fn's contract passes the avx2/fma guarantee
+        // straight through to `load_node` and `slab_ray`, whose only
+        // other preconditions (aligned `SoaAabbs` loads, stack stores)
+        // are discharged at their own sites.
+        unsafe {
+            let node = load_node(boxes);
+            slab_ray(ray, &node, boxes.lane_mask())
+        }
     }
 
     /// AVX2 packet kernel: the node's lane arrays are loaded once and
@@ -659,96 +695,108 @@ mod x86 {
     #[cfg_attr(not(feature = "fma"), target_feature(enable = "avx2"))]
     #[cfg_attr(feature = "fma", target_feature(enable = "avx2,fma"))]
     pub unsafe fn slab_test_8x4_avx2(rays: &[RayInv; 4], boxes: &SoaAabbs) -> [HitMask8; 4] {
-        let node = load_node(boxes);
-        let lane_mask = boxes.lane_mask();
-        [
-            slab_ray(&rays[0], &node, lane_mask),
-            slab_ray(&rays[1], &node, lane_mask),
-            slab_ray(&rays[2], &node, lane_mask),
-            slab_ray(&rays[3], &node, lane_mask),
-        ]
+        // SAFETY: this fn's contract passes the avx2/fma guarantee
+        // straight through to `load_node` and `slab_ray`, whose only
+        // other preconditions (aligned `SoaAabbs` loads, stack stores)
+        // are discharged at their own sites.
+        unsafe {
+            let node = load_node(boxes);
+            let lane_mask = boxes.lane_mask();
+            [
+                slab_ray(&rays[0], &node, lane_mask),
+                slab_ray(&rays[1], &node, lane_mask),
+                slab_ray(&rays[2], &node, lane_mask),
+                slab_ray(&rays[3], &node, lane_mask),
+            ]
+        }
     }
 
     /// SSE2 batched Möller–Trumbore: 4 independent triangle lanes, only
     /// lane-wise operations (no min/max, so no NaN-semantics hazards).
-    ///
-    /// # Safety
-    ///
-    /// SSE2 is a baseline feature of every x86-64 target.
-    pub unsafe fn ray_triangle_4_sse2(ray: &Ray, tris: &Tri4) -> Tri4Hit {
-        let ox = _mm_set1_ps(ray.origin.x);
-        let oy = _mm_set1_ps(ray.origin.y);
-        let oz = _mm_set1_ps(ray.origin.z);
-        let dx = _mm_set1_ps(ray.direction.x);
-        let dy = _mm_set1_ps(ray.direction.y);
-        let dz = _mm_set1_ps(ray.direction.z);
-        let v0x = _mm_load_ps(tris.v0x.as_ptr());
-        let v0y = _mm_load_ps(tris.v0y.as_ptr());
-        let v0z = _mm_load_ps(tris.v0z.as_ptr());
-        let e1x = _mm_sub_ps(_mm_load_ps(tris.v1x.as_ptr()), v0x);
-        let e1y = _mm_sub_ps(_mm_load_ps(tris.v1y.as_ptr()), v0y);
-        let e1z = _mm_sub_ps(_mm_load_ps(tris.v1z.as_ptr()), v0z);
-        let e2x = _mm_sub_ps(_mm_load_ps(tris.v2x.as_ptr()), v0x);
-        let e2y = _mm_sub_ps(_mm_load_ps(tris.v2y.as_ptr()), v0y);
-        let e2z = _mm_sub_ps(_mm_load_ps(tris.v2z.as_ptr()), v0z);
-        let px = _mm_sub_ps(_mm_mul_ps(dy, e2z), _mm_mul_ps(dz, e2y));
-        let py = _mm_sub_ps(_mm_mul_ps(dz, e2x), _mm_mul_ps(dx, e2z));
-        let pz = _mm_sub_ps(_mm_mul_ps(dx, e2y), _mm_mul_ps(dy, e2x));
-        let det = _mm_add_ps(
-            _mm_add_ps(_mm_mul_ps(e1x, px), _mm_mul_ps(e1y, py)),
-            _mm_mul_ps(e1z, pz),
-        );
-        // pass = !(|det| < 1e-12): NaN determinants pass, as in scalar.
-        let abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff));
-        let abs_det = _mm_and_ps(det, abs_mask);
-        let mut pass = _mm_cmpnlt_ps(abs_det, _mm_set1_ps(1e-12));
-        let inv_det = _mm_div_ps(_mm_set1_ps(1.0), det);
-        let sx = _mm_sub_ps(ox, v0x);
-        let sy = _mm_sub_ps(oy, v0y);
-        let sz = _mm_sub_ps(oz, v0z);
-        let u = _mm_mul_ps(
-            _mm_add_ps(
-                _mm_add_ps(_mm_mul_ps(sx, px), _mm_mul_ps(sy, py)),
-                _mm_mul_ps(sz, pz),
-            ),
-            inv_det,
-        );
-        // pass &= 0 <= u && u <= 1 (NaN u fails, as in scalar).
-        pass = _mm_and_ps(pass, _mm_cmple_ps(_mm_setzero_ps(), u));
-        pass = _mm_and_ps(pass, _mm_cmple_ps(u, _mm_set1_ps(1.0)));
-        let qx = _mm_sub_ps(_mm_mul_ps(sy, e1z), _mm_mul_ps(sz, e1y));
-        let qy = _mm_sub_ps(_mm_mul_ps(sz, e1x), _mm_mul_ps(sx, e1z));
-        let qz = _mm_sub_ps(_mm_mul_ps(sx, e1y), _mm_mul_ps(sy, e1x));
-        let v = _mm_mul_ps(
-            _mm_add_ps(
-                _mm_add_ps(_mm_mul_ps(dx, qx), _mm_mul_ps(dy, qy)),
-                _mm_mul_ps(dz, qz),
-            ),
-            inv_det,
-        );
-        // pass &= !(v < 0) && !(u + v > 1) (NaN v passes, as in scalar).
-        pass = _mm_and_ps(pass, _mm_cmpnlt_ps(v, _mm_setzero_ps()));
-        pass = _mm_and_ps(pass, _mm_cmpngt_ps(_mm_add_ps(u, v), _mm_set1_ps(1.0)));
-        let t = _mm_mul_ps(
-            _mm_add_ps(
-                _mm_add_ps(_mm_mul_ps(e2x, qx), _mm_mul_ps(e2y, qy)),
-                _mm_mul_ps(e2z, qz),
-            ),
-            inv_det,
-        );
-        // pass &= !(t < 0) (NaN t passes, as in scalar).
-        pass = _mm_and_ps(pass, _mm_cmpnlt_ps(t, _mm_setzero_ps()));
-        let mut out = Tri4Hit {
-            t: [0.0; 4],
-            u: [0.0; 4],
-            v: [0.0; 4],
-            mask: 0,
-        };
-        _mm_storeu_ps(out.t.as_mut_ptr(), t);
-        _mm_storeu_ps(out.u.as_mut_ptr(), u);
-        _mm_storeu_ps(out.v.as_mut_ptr(), v);
-        out.mask = (_mm_movemask_ps(pass) as u8) & tris.lane_mask();
-        out
+    /// Safe to call unconditionally: SSE2 is a baseline feature of
+    /// every x86-64 target.
+    pub fn ray_triangle_4_sse2(ray: &Ray, tris: &Tri4) -> Tri4Hit {
+        // SAFETY: SSE2 is baseline on x86-64, so the feature
+        // precondition of every intrinsic here holds statically. The
+        // `_mm_load_ps` loads read `[f32; 4]` = 16-byte fields of the
+        // `#[repr(C, align(16))]` `Tri4` (in-bounds, 16-byte aligned);
+        // the `_mm_storeu_ps` stores write 4 f32s each into the local
+        // `Tri4Hit` arrays (in-bounds; no alignment requirement).
+        unsafe {
+            let ox = _mm_set1_ps(ray.origin.x);
+            let oy = _mm_set1_ps(ray.origin.y);
+            let oz = _mm_set1_ps(ray.origin.z);
+            let dx = _mm_set1_ps(ray.direction.x);
+            let dy = _mm_set1_ps(ray.direction.y);
+            let dz = _mm_set1_ps(ray.direction.z);
+            let v0x = _mm_load_ps(tris.v0x.as_ptr());
+            let v0y = _mm_load_ps(tris.v0y.as_ptr());
+            let v0z = _mm_load_ps(tris.v0z.as_ptr());
+            let e1x = _mm_sub_ps(_mm_load_ps(tris.v1x.as_ptr()), v0x);
+            let e1y = _mm_sub_ps(_mm_load_ps(tris.v1y.as_ptr()), v0y);
+            let e1z = _mm_sub_ps(_mm_load_ps(tris.v1z.as_ptr()), v0z);
+            let e2x = _mm_sub_ps(_mm_load_ps(tris.v2x.as_ptr()), v0x);
+            let e2y = _mm_sub_ps(_mm_load_ps(tris.v2y.as_ptr()), v0y);
+            let e2z = _mm_sub_ps(_mm_load_ps(tris.v2z.as_ptr()), v0z);
+            let px = _mm_sub_ps(_mm_mul_ps(dy, e2z), _mm_mul_ps(dz, e2y));
+            let py = _mm_sub_ps(_mm_mul_ps(dz, e2x), _mm_mul_ps(dx, e2z));
+            let pz = _mm_sub_ps(_mm_mul_ps(dx, e2y), _mm_mul_ps(dy, e2x));
+            let det = _mm_add_ps(
+                _mm_add_ps(_mm_mul_ps(e1x, px), _mm_mul_ps(e1y, py)),
+                _mm_mul_ps(e1z, pz),
+            );
+            // pass = !(|det| < 1e-12): NaN determinants pass, as in scalar.
+            let abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff));
+            let abs_det = _mm_and_ps(det, abs_mask);
+            let mut pass = _mm_cmpnlt_ps(abs_det, _mm_set1_ps(1e-12));
+            let inv_det = _mm_div_ps(_mm_set1_ps(1.0), det);
+            let sx = _mm_sub_ps(ox, v0x);
+            let sy = _mm_sub_ps(oy, v0y);
+            let sz = _mm_sub_ps(oz, v0z);
+            let u = _mm_mul_ps(
+                _mm_add_ps(
+                    _mm_add_ps(_mm_mul_ps(sx, px), _mm_mul_ps(sy, py)),
+                    _mm_mul_ps(sz, pz),
+                ),
+                inv_det,
+            );
+            // pass &= 0 <= u && u <= 1 (NaN u fails, as in scalar).
+            pass = _mm_and_ps(pass, _mm_cmple_ps(_mm_setzero_ps(), u));
+            pass = _mm_and_ps(pass, _mm_cmple_ps(u, _mm_set1_ps(1.0)));
+            let qx = _mm_sub_ps(_mm_mul_ps(sy, e1z), _mm_mul_ps(sz, e1y));
+            let qy = _mm_sub_ps(_mm_mul_ps(sz, e1x), _mm_mul_ps(sx, e1z));
+            let qz = _mm_sub_ps(_mm_mul_ps(sx, e1y), _mm_mul_ps(sy, e1x));
+            let v = _mm_mul_ps(
+                _mm_add_ps(
+                    _mm_add_ps(_mm_mul_ps(dx, qx), _mm_mul_ps(dy, qy)),
+                    _mm_mul_ps(dz, qz),
+                ),
+                inv_det,
+            );
+            // pass &= !(v < 0) && !(u + v > 1) (NaN v passes, as in scalar).
+            pass = _mm_and_ps(pass, _mm_cmpnlt_ps(v, _mm_setzero_ps()));
+            pass = _mm_and_ps(pass, _mm_cmpngt_ps(_mm_add_ps(u, v), _mm_set1_ps(1.0)));
+            let t = _mm_mul_ps(
+                _mm_add_ps(
+                    _mm_add_ps(_mm_mul_ps(e2x, qx), _mm_mul_ps(e2y, qy)),
+                    _mm_mul_ps(e2z, qz),
+                ),
+                inv_det,
+            );
+            // pass &= !(t < 0) (NaN t passes, as in scalar).
+            pass = _mm_and_ps(pass, _mm_cmpnlt_ps(t, _mm_setzero_ps()));
+            let mut out = Tri4Hit {
+                t: [0.0; 4],
+                u: [0.0; 4],
+                v: [0.0; 4],
+                mask: 0,
+            };
+            _mm_storeu_ps(out.t.as_mut_ptr(), t);
+            _mm_storeu_ps(out.u.as_mut_ptr(), u);
+            _mm_storeu_ps(out.v.as_mut_ptr(), v);
+            out.mask = (_mm_movemask_ps(pass) as u8) & tris.lane_mask();
+            out
+        }
     }
 }
 
@@ -778,6 +826,11 @@ mod neon {
     /// IEEE minNum/maxNum instructions — exactly Rust's
     /// `f32::min`/`f32::max` lowering on aarch64, so NaN lanes from
     /// axis-parallel rays resolve identically to the portable kernel.
+    ///
+    /// # Safety
+    ///
+    /// Callers must pass `lane <= LANES - 4` so the four-float loads
+    /// starting at `lane` stay inside the 8-wide `SoaAabbs` arrays.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     unsafe fn slab_half(
@@ -790,45 +843,51 @@ mod neon {
         iy: float32x4_t,
         iz: float32x4_t,
     ) -> (float32x4_t, float32x4_t, uint32x4_t) {
-        #[cfg(not(feature = "fma"))]
-        let (t0x, t1x, t0y, t1y, t0z, t1z) = (
-            vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_x.as_ptr().add(lane)), ox), ix),
-            vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_x.as_ptr().add(lane)), ox), ix),
-            vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_y.as_ptr().add(lane)), oy), iy),
-            vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_y.as_ptr().add(lane)), oy), iy),
-            vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_z.as_ptr().add(lane)), oz), iz),
-            vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_z.as_ptr().add(lane)), oz), iz),
-        );
-        // Contracted form mirroring the portable `fma` path:
-        // vfmaq(-(o*i), slab, i) == slab*i - o*i with one fused rounding.
-        #[cfg(feature = "fma")]
-        let (t0x, t1x, t0y, t1y, t0z, t1z) = {
-            let nx = vnegq_f32(vmulq_f32(ox, ix));
-            let ny = vnegq_f32(vmulq_f32(oy, iy));
-            let nz = vnegq_f32(vmulq_f32(oz, iz));
-            (
-                vfmaq_f32(nx, vld1q_f32(boxes.min_x.as_ptr().add(lane)), ix),
-                vfmaq_f32(nx, vld1q_f32(boxes.max_x.as_ptr().add(lane)), ix),
-                vfmaq_f32(ny, vld1q_f32(boxes.min_y.as_ptr().add(lane)), iy),
-                vfmaq_f32(ny, vld1q_f32(boxes.max_y.as_ptr().add(lane)), iy),
-                vfmaq_f32(nz, vld1q_f32(boxes.min_z.as_ptr().add(lane)), iz),
-                vfmaq_f32(nz, vld1q_f32(boxes.max_z.as_ptr().add(lane)), iz),
-            )
-        };
-        let near_x = vminnmq_f32(t0x, t1x);
-        let near_y = vminnmq_f32(t0y, t1y);
-        let near_z = vminnmq_f32(t0z, t1z);
-        let far_x = vmaxnmq_f32(t0x, t1x);
-        let far_y = vmaxnmq_f32(t0y, t1y);
-        let far_z = vmaxnmq_f32(t0z, t1z);
-        // `+ 0.0` canonicalizes `-0.0` to `+0.0`, as in the scalar test.
-        let zero = vdupq_n_f32(0.0);
-        let enter = vaddq_f32(
-            vmaxnmq_f32(vmaxnmq_f32(vmaxnmq_f32(near_x, near_y), near_z), zero),
-            zero,
-        );
-        let exit = vaddq_f32(vminnmq_f32(vminnmq_f32(far_x, far_y), far_z), zero);
-        (enter, exit, vcleq_f32(enter, exit))
+        // SAFETY: NEON is mandatory on aarch64; every `vld1q_f32` reads
+        // four f32s starting at `lane`, in-bounds by this fn's
+        // `lane <= LANES - 4` contract (`vld1q` has no alignment
+        // requirement); the rest is register-only value math.
+        unsafe {
+            #[cfg(not(feature = "fma"))]
+            let (t0x, t1x, t0y, t1y, t0z, t1z) = (
+                vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_x.as_ptr().add(lane)), ox), ix),
+                vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_x.as_ptr().add(lane)), ox), ix),
+                vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_y.as_ptr().add(lane)), oy), iy),
+                vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_y.as_ptr().add(lane)), oy), iy),
+                vmulq_f32(vsubq_f32(vld1q_f32(boxes.min_z.as_ptr().add(lane)), oz), iz),
+                vmulq_f32(vsubq_f32(vld1q_f32(boxes.max_z.as_ptr().add(lane)), oz), iz),
+            );
+            // Contracted form mirroring the portable `fma` path:
+            // vfmaq(-(o*i), slab, i) == slab*i - o*i with one fused rounding.
+            #[cfg(feature = "fma")]
+            let (t0x, t1x, t0y, t1y, t0z, t1z) = {
+                let nx = vnegq_f32(vmulq_f32(ox, ix));
+                let ny = vnegq_f32(vmulq_f32(oy, iy));
+                let nz = vnegq_f32(vmulq_f32(oz, iz));
+                (
+                    vfmaq_f32(nx, vld1q_f32(boxes.min_x.as_ptr().add(lane)), ix),
+                    vfmaq_f32(nx, vld1q_f32(boxes.max_x.as_ptr().add(lane)), ix),
+                    vfmaq_f32(ny, vld1q_f32(boxes.min_y.as_ptr().add(lane)), iy),
+                    vfmaq_f32(ny, vld1q_f32(boxes.max_y.as_ptr().add(lane)), iy),
+                    vfmaq_f32(nz, vld1q_f32(boxes.min_z.as_ptr().add(lane)), iz),
+                    vfmaq_f32(nz, vld1q_f32(boxes.max_z.as_ptr().add(lane)), iz),
+                )
+            };
+            let near_x = vminnmq_f32(t0x, t1x);
+            let near_y = vminnmq_f32(t0y, t1y);
+            let near_z = vminnmq_f32(t0z, t1z);
+            let far_x = vmaxnmq_f32(t0x, t1x);
+            let far_y = vmaxnmq_f32(t0y, t1y);
+            let far_z = vmaxnmq_f32(t0z, t1z);
+            // `+ 0.0` canonicalizes `-0.0` to `+0.0`, as in the scalar test.
+            let zero = vdupq_n_f32(0.0);
+            let enter = vaddq_f32(
+                vmaxnmq_f32(vmaxnmq_f32(vmaxnmq_f32(near_x, near_y), near_z), zero),
+                zero,
+            );
+            let exit = vaddq_f32(vminnmq_f32(vminnmq_f32(far_x, far_y), far_z), zero);
+            (enter, exit, vcleq_f32(enter, exit))
+        }
     }
 
     /// NEON slab kernel: two 4-lane halves over the 8-wide storage.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Frame-stream pipeline: overlapped scene update, acceleration-structure
 //! rebuild, and batched rendering.
 //!

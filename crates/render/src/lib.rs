@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The 3DGRT-style Gaussian ray-tracing renderer and its 3DGS
 //! rasterization baseline.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! 3D Gaussian scenes for the GRTX reproduction.
 //!
 //! This crate provides:

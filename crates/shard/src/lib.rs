@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Scene sharding: spatial shards with per-shard acceleration
 //! structures, parallel builds, and deterministic sharded rendering.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Cycle-level GPU model for Gaussian ray tracing — the stand-in for
 //! Vulkan-Sim plus the paper's in-house RT simulator.
 //!

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Zero-cost-when-disabled instrumentation for the GRTX stack: span
 //! timing, monotonic counters, and HDR-style latency histograms, with a
 //! Chrome trace-event exporter and a canonical machine-readable report.

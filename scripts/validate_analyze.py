@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Minimal schema check for the grtx-analyze JSON report.
+
+Usage: validate_analyze.py <grtx-analyze.json>
+
+Validates that the report carries the grtx-analyze-v1 schema, lists the
+full lint table, and is internally consistent (counts match the finding
+and waiver sections, every finding names a declared lint, a clean CI
+report has zero findings and no stale waivers). Exits non-zero with a
+message on the first violation.
+"""
+
+import json
+import sys
+
+EXPECTED_LINTS = {
+    "unsafe-needs-safety",
+    "forbid-unsafe-outside-math",
+    "deterministic-collections",
+    "no-wall-clock",
+    "float-total-order",
+    "fma-containment",
+    "no-unscoped-spawn",
+    "waiver-needs-reason",
+    "waiver-unknown-lint",
+}
+
+
+def fail(message: str) -> None:
+    print(f"validate_analyze: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> None:
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "grtx-analyze-v1":
+        fail("report schema is not grtx-analyze-v1")
+    for section in ("crates", "lints", "findings", "waivers"):
+        if not isinstance(report.get(section), list):
+            fail(f"report missing list section {section!r}")
+    if not isinstance(report.get("files_scanned"), int) or report["files_scanned"] == 0:
+        fail("report scanned no files")
+
+    declared = set()
+    for lint in report["lints"]:
+        for key in ("id", "summary", "rationale"):
+            if not lint.get(key):
+                fail(f"lint row missing {key}: {lint}")
+        declared.add(lint["id"])
+    if declared != EXPECTED_LINTS:
+        fail(
+            "lint table drifted: "
+            f"missing {sorted(EXPECTED_LINTS - declared)}, "
+            f"unexpected {sorted(declared - EXPECTED_LINTS)}"
+        )
+
+    for finding in report["findings"]:
+        for key in ("lint", "file", "line", "message", "rationale"):
+            if key not in finding:
+                fail(f"finding row missing {key}: {finding}")
+        if finding["lint"] not in declared:
+            fail(f"finding names undeclared lint: {finding}")
+        if not isinstance(finding["line"], int) or finding["line"] < 1:
+            fail(f"finding line must be 1-based: {finding}")
+
+    active = 0
+    for waiver in report["waivers"]:
+        for key in ("file", "line", "lint", "reason", "used"):
+            if key not in waiver:
+                fail(f"waiver row missing {key}: {waiver}")
+        if waiver["used"]:
+            active += 1
+        else:
+            fail(f"stale waiver (suppresses nothing): {waiver}")
+
+    counts = report.get("counts")
+    if not isinstance(counts, dict):
+        fail("report missing counts section")
+    if counts.get("findings") != len(report["findings"]):
+        fail("counts.findings disagrees with the findings section")
+    if counts.get("waivers") != len(report["waivers"]):
+        fail("counts.waivers disagrees with the waivers section")
+    if counts.get("waivers_active") != active:
+        fail("counts.waivers_active disagrees with the waivers section")
+
+    if report["findings"]:
+        fail(f"{len(report['findings'])} unwaived finding(s) — the tree must be lint-clean")
+
+    print(
+        "validate_analyze: report OK — "
+        f"{report['files_scanned']} files across {len(report['crates'])} crates, "
+        f"0 findings, {active} active waiver(s)"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_analyze.py <grtx-analyze.json>")
+    validate(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()
