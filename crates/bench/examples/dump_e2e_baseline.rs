@@ -1,0 +1,129 @@
+//! Dumps the end-to-end timing baseline committed as `BENCH_e2e.json`.
+//!
+//! Times the full simulate-and-render path — build the GRTX structure,
+//! run the cycle-level simulation, compose the image — for the
+//! paper's variant lineup on a fixed evaluation scene, and prints a
+//! JSON document to stdout. Regenerate the committed baseline after
+//! engine or pipeline changes:
+//!
+//! ```text
+//! cargo run --release -p grtx-bench --example dump_e2e_baseline > BENCH_e2e.json
+//! ```
+//!
+//! Future PRs diff their numbers against the committed file with
+//! `scripts/compare_bench.py` to track the perf trajectory. Wall-clock
+//! milliseconds are machine-dependent; the simulated cycle counts are
+//! deterministic (a change there means the modeled workload itself
+//! changed, not the host), and the variant-to-variant ratios are the
+//! comparable cross-machine signal.
+
+use std::time::Instant;
+
+use grtx::{PipelineVariant, RunOptions, SceneSetup};
+use grtx_scene::SceneKind;
+
+/// Median wall milliseconds over `samples` runs of `f`.
+fn time_ms(samples: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut cycles = 0;
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            cycles = f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    medians.sort_by(f64::total_cmp);
+    (medians[medians.len() / 2], cycles)
+}
+
+/// The toolchain/flags provenance block recorded with the numbers, so a
+/// later diff against the committed baseline can tell a real engine
+/// regression from a changed build environment.
+fn provenance_json() -> String {
+    let rustc =
+        std::process::Command::new(std::env::var_os("RUSTC").unwrap_or_else(|| "rustc".into()))
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+    let rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    let target_cpu = rustflags
+        .split_whitespace()
+        .find_map(|flag| flag.strip_prefix("-Ctarget-cpu="))
+        .unwrap_or("generic");
+    format!(
+        concat!(
+            "  \"provenance\": {{\n",
+            "    \"rustc\": \"{}\",\n",
+            "    \"target_cpu\": \"{}\",\n",
+            "    \"rustflags\": \"{}\",\n",
+            "    \"avx2\": {},\n",
+            "    \"fma_target_feature\": {},\n",
+            "    \"fma_crate_feature\": {}\n",
+            "  }},"
+        ),
+        rustc.replace('"', "'"),
+        target_cpu,
+        rustflags.replace('"', "'"),
+        cfg!(target_feature = "avx2"),
+        cfg!(target_feature = "fma"),
+        cfg!(feature = "fma"),
+    )
+}
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "error: dump_e2e_baseline measures end-to-end timings and must run \
+             from a release build; debug numbers are meaningless as a baseline.\n\
+             Re-run with: cargo run --release -p grtx-bench --example dump_e2e_baseline"
+        );
+        std::process::exit(1);
+    }
+    // The acceptance workload family: a mid-size Train-statistics scene
+    // at 96×96, single view, all four Fig. 13 variants. Small enough
+    // for CI, large enough that the simulated GPU does real work.
+    let setup = SceneSetup::evaluation(SceneKind::Train, 4000, 96, 42);
+    let options = RunOptions {
+        k: 8,
+        threads: 4,
+        ..Default::default()
+    };
+    let samples = 5;
+
+    println!("{{");
+    println!("  \"bench\": \"e2e\",");
+    println!("  \"units\": \"wall_ms_and_sim_cycles\",");
+    println!("  \"scene\": \"train-4000g-96px\",");
+    println!("  \"arch\": \"{}\",", std::env::consts::ARCH);
+    println!("{}", provenance_json());
+    println!("  \"results\": {{");
+    let mut rows = Vec::new();
+    for variant in PipelineVariant::fig13_lineup() {
+        // The structure build is timed separately from the render so a
+        // regression in either shows up unmixed.
+        let layout = grtx::LayoutConfig::default();
+        let (build_ms, _) = time_ms(samples, || {
+            let accel = setup.build_accel(&variant, &layout);
+            u64::from(accel.height())
+        });
+        let accel = setup.build_accel(&variant, &layout);
+        let (render_ms, cycles) = time_ms(samples, || {
+            setup
+                .run_with_accel(&accel, &variant, &options)
+                .report
+                .cycles
+        });
+        let slug = variant.name.to_lowercase().replace([' ', '-'], "_");
+        rows.push(format!(
+            "    \"{slug}_build_ms\": {build_ms:.2},\n    \
+             \"{slug}_render_ms\": {render_ms:.2},\n    \
+             \"{slug}_sim_cycles\": {cycles}"
+        ));
+    }
+    println!("{}", rows.join(",\n"));
+    println!("  }}");
+    println!("}}");
+}

@@ -3,6 +3,7 @@
 
 use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
 use grtx_pipeline::{FrameSource, JitterSource, OrbitSource, StreamConfig};
+use grtx_prof::Profiler;
 use grtx_render::engine::RenderEngine;
 use grtx_render::renderer::{RenderConfig, RenderReport};
 use grtx_render::tracer::{KBufferStorage, TraceMode, TraceParams};
@@ -163,6 +164,16 @@ pub struct RunOptions {
     /// without changing any result — images, cycles, and statistics
     /// stay bit-identical with telemetry on or off.
     pub telemetry: Telemetry,
+    /// Simulated-cycle profiler handle threaded through the render
+    /// engine and frame pipeline. The default (disabled) handle records
+    /// nothing and costs one branch per hook; an enabled one collects
+    /// per-(launch, SM) hardware counters, warp timelines, and occupancy
+    /// series on the simulated clock — bit-identical at any thread,
+    /// shard, or pipeline-depth setting, and without changing any
+    /// result. Export via [`Profiler::report`] /
+    /// [`Profiler::chrome_trace`] or the `GRTX_PROFILE` helpers in
+    /// [`crate::profile`].
+    pub profiler: Profiler,
 }
 
 impl Default for RunOptions {
@@ -179,6 +190,7 @@ impl Default for RunOptions {
             threads: 0,
             shards: 0,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 }
@@ -417,6 +429,7 @@ impl SceneSetup {
         let report = RenderEngine::new(gpu)
             .with_threads(options.threads)
             .with_telemetry(options.telemetry.clone())
+            .with_profiler(options.profiler.clone())
             .render(accel, &self.scene, &self.camera, effects.as_ref(), &config);
         self.result_for(accel, report)
     }
@@ -474,6 +487,7 @@ impl SceneSetup {
         RenderEngine::new(gpu)
             .with_threads(options.threads)
             .with_telemetry(options.telemetry.clone())
+            .with_profiler(options.profiler.clone())
             .render_batch(accel, &self.scene, cameras, effects.as_ref(), &config)
             .into_iter()
             .map(|report| self.result_for(accel, report))
@@ -525,6 +539,7 @@ impl SceneSetup {
             gpu: options.gpu.clone().with_cache_scale(self.divisor),
             effects: self.effects(options),
             telemetry: options.telemetry.clone(),
+            profiler: options.profiler.clone(),
         }
     }
 

@@ -63,9 +63,13 @@
 //! ```
 
 pub mod experiment;
+pub mod profile;
 pub mod trace;
 
 pub use experiment::{ExperimentResult, PipelineVariant, RunOptions, SceneSetup, StreamFrame};
+pub use profile::{
+    profile_path_from_env, profiler_from_env, write_profile, write_profile_from_env, PROFILE_ENV,
+};
 pub use trace::{
     report_path_for, telemetry_from_env, trace_path_from_env, write_trace, write_trace_from_env,
     TRACE_ENV,
@@ -76,6 +80,7 @@ pub use grtx_pipeline::{
     run_sequential, run_stream, FrameResult, FrameSource, FrameSpec, JitterSource, OrbitSource,
     StreamConfig,
 };
+pub use grtx_prof::{ProfReport, Profiler};
 pub use grtx_render::{
     render_rasterized, Image, RenderConfig, RenderEngine, RenderReport, TraceMode, TraceParams,
 };

@@ -55,6 +55,7 @@
 
 use crate::source::FrameSource;
 use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+use grtx_prof::Profiler;
 use grtx_render::engine::{CameraLaunch, SmOutcome};
 use grtx_render::renderer::{RenderConfig, RenderReport};
 use grtx_render::RenderEngine;
@@ -99,6 +100,12 @@ pub struct StreamConfig {
     /// histograms (frame latency, queue dwell, handoff depth), and
     /// scheduler counters — without changing any frame result.
     pub telemetry: Telemetry,
+    /// Simulated-cycle profiler handle. The default (disabled) handle
+    /// records nothing; an enabled one collects per-(launch, SM)
+    /// hardware counters and warp timelines on the virtual clock, keyed
+    /// `(frame << 32) | camera` — byte-identical at every depth, thread,
+    /// and shard count, and invisible in every frame result.
+    pub profiler: Profiler,
 }
 
 impl Default for StreamConfig {
@@ -116,6 +123,7 @@ impl Default for StreamConfig {
             gpu: GpuConfig::default(),
             effects: None,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 }
@@ -229,7 +237,8 @@ pub fn run_sequential(
 ) -> Vec<FrameResult> {
     let engine = RenderEngine::new(config.gpu.clone())
         .with_threads(config.threads)
-        .with_telemetry(config.telemetry.clone());
+        .with_telemetry(config.telemetry.clone())
+        .with_profiler(config.profiler.clone());
     let telemetry = &config.telemetry;
     let mut recorder = telemetry.recorder("stream-sequential");
     let mut results = Vec::with_capacity(frames);
@@ -254,7 +263,10 @@ pub fn run_sequential(
             }
             let built = built.as_ref().expect("structure built above");
             let reports = rec.scope("pipeline.render", index as u64, |_| {
-                engine.render_batch(
+                // The same `(frame << 32) | camera` profile keys as the
+                // task-graph path, so profiles are depth-independent.
+                engine.render_batch_keyed(
+                    (index as u64) << 32,
                     &built.accel,
                     scene,
                     &spec.cameras,
@@ -400,7 +412,8 @@ impl<'a> Pipeline<'a> {
     fn new(source: &'a dyn FrameSource, frames: usize, config: &'a StreamConfig) -> Self {
         let engine = RenderEngine::new(config.gpu.clone())
             .with_threads(config.threads)
-            .with_telemetry(config.telemetry.clone());
+            .with_telemetry(config.telemetry.clone())
+            .with_profiler(config.profiler.clone());
         let sms = engine.fragments_per_launch();
         // The shard builder's worker policy: 0 = all cores. No work-item
         // cap — the pool's parallel width (in-flight frames × cameras ×
@@ -780,7 +793,8 @@ impl<'a> Pipeline<'a> {
                             .iter_mut()
                             .map(|o| o.take().expect("every fragment completed before merge"))
                             .collect();
-                        self.engine.merge_launch(
+                        self.engine.merge_launch_keyed(
+                            ((frame as u64) << 32) | cam as u64,
                             &launches[cam],
                             camera,
                             &self.config.render,

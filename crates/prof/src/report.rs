@@ -1,0 +1,484 @@
+//! The canonical `grtx-prof-v1` machine-readable profile report and its
+//! JSON/table serializations.
+//!
+//! Everything here is a pure function of the submitted
+//! [`FragmentProfile`]s: values are simulated-cycle counts and simulator
+//! counters, serialization order is canonical `(launch key, SM)`, and
+//! floats derive from integer counters by fixed arithmetic — so two
+//! profiled runs of the same workload produce **byte-identical** JSON at
+//! any host thread count.
+
+use crate::{FragmentProfile, GpuDesc, OccupancySample};
+use grtx_sim::SimStats;
+
+/// Percentile digest of one per-round histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDigest {
+    /// Recorded samples (one per warp-round).
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median sample.
+    pub p50: u64,
+    /// 95th-percentile sample.
+    pub p95: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl HistDigest {
+    fn of(h: &grtx_telemetry::Histogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            max: h.max(),
+        }
+    }
+}
+
+/// One launch's virtual-clock placement: launches lay out back-to-back
+/// in key order, each spanning its slowest SM's busy cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSummary {
+    /// Canonical launch key (camera index for a batch;
+    /// `frame << 32 | camera` for a stream).
+    pub key: u64,
+    /// Cycle the launch starts at on the global virtual clock.
+    pub start_cycle: u64,
+    /// Slowest SM's busy cycles — the launch's virtual-clock span.
+    pub cycles: u64,
+    /// Fragments (SMs) that reported for this launch.
+    pub sms: usize,
+}
+
+/// One `(launch, SM)` cell of the hardware-counter matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Launch key (matches a [`LaunchSummary`]).
+    pub launch: u64,
+    /// Simulated SM index.
+    pub sm: usize,
+    /// The SM's virtual clock at fragment end.
+    pub busy_cycles: u64,
+    /// Warps this SM executed for the launch.
+    pub warps: u64,
+    /// Full simulator counter snapshot for this cell. Summing the
+    /// column over all rows of a run reproduces the global [`SimStats`]
+    /// exactly (peaks take the max) — the matrix is the totals,
+    /// disaggregated.
+    pub stats: SimStats,
+    /// L1 structure accesses (line-granular).
+    pub l1_accesses: u64,
+    /// L1 structure hits.
+    pub l1_hits: u64,
+    /// Accesses reaching the SM's private L2 slice.
+    pub l2_accesses: u64,
+    /// L2-slice structure hits.
+    pub l2_hits: u64,
+    /// Accesses falling through to DRAM.
+    pub dram_accesses: u64,
+    /// Lines installed by the sibling prefetcher.
+    pub prefetch_installs: u64,
+    /// Active SIMT lanes per warp-round.
+    pub lane_occupancy: HistDigest,
+    /// Idle SIMT lanes per warp-round.
+    pub divergence: HistDigest,
+    /// Per-scheduler-round buffer occupancy high-water series.
+    pub occupancy: Vec<OccupancySample>,
+}
+
+/// The canonical profile report (schema `grtx-prof-v1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfReport {
+    /// Architecture snapshot (`None` if no launch ever ran).
+    pub gpu: Option<GpuDesc>,
+    /// Launch placements in key order.
+    pub launches: Vec<LaunchSummary>,
+    /// Counter matrix in `(launch, SM)` order.
+    pub matrix: Vec<MatrixRow>,
+}
+
+impl ProfReport {
+    /// Builds the report from fragments already in canonical
+    /// `(key, sm)` order.
+    pub(crate) fn build(gpu: Option<GpuDesc>, frags: Vec<(u64, FragmentProfile)>) -> Self {
+        let mut launches: Vec<LaunchSummary> = Vec::new();
+        let mut matrix: Vec<MatrixRow> = Vec::with_capacity(frags.len());
+        let mut offset = 0u64;
+        let mut i = 0;
+        while i < frags.len() {
+            let key = frags[i].0;
+            let mut span = 0u64;
+            let mut sms = 0usize;
+            while i < frags.len() && frags[i].0 == key {
+                let f = &frags[i].1;
+                span = span.max(f.busy_cycles);
+                sms += 1;
+                matrix.push(MatrixRow {
+                    launch: key,
+                    sm: f.sm,
+                    busy_cycles: f.busy_cycles,
+                    warps: f.warps.len() as u64,
+                    stats: f.stats.clone(),
+                    l1_accesses: f.l1_accesses,
+                    l1_hits: f.l1_hits,
+                    l2_accesses: f.l2_accesses,
+                    l2_hits: f.l2_hits,
+                    dram_accesses: f.dram_accesses,
+                    prefetch_installs: f.prefetch_installs,
+                    lane_occupancy: HistDigest::of(&f.lane_occupancy),
+                    divergence: HistDigest::of(&f.divergence),
+                    occupancy: f.occupancy.clone(),
+                });
+                i += 1;
+            }
+            launches.push(LaunchSummary {
+                key,
+                start_cycle: offset,
+                cycles: span,
+                sms,
+            });
+            offset += span;
+        }
+        Self {
+            gpu,
+            launches,
+            matrix,
+        }
+    }
+
+    /// Sums the matrix back to the global counter totals (additive
+    /// counters sum, peaks take the max) — by construction equal to the
+    /// [`SimStats`] the run's reports published.
+    pub fn matrix_totals(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for row in &self.matrix {
+            total.merge(&row.stats);
+        }
+        total
+    }
+
+    /// Serializes as a `grtx-prof-v1` JSON document (hand-rolled; the
+    /// workspace has no serde). Byte-identical across runs and host
+    /// thread counts for the same profiled workload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"grtx-prof-v1\",\n");
+        out.push_str("  \"gpu\": ");
+        match &self.gpu {
+            None => out.push_str("null"),
+            Some(g) => out.push_str(&format!(
+                "{{\"num_sms\": {}, \"clock_mhz\": {}, \"warp_size\": {}, \
+                 \"warp_buffer_size\": {}, \"line_bytes\": {}, \"l1_latency\": {}, \
+                 \"l2_latency\": {}, \"dram_latency\": {}}}",
+                g.num_sms,
+                g.clock_mhz,
+                g.warp_size,
+                g.warp_buffer_size,
+                g.line_bytes,
+                g.l1_latency,
+                g.l2_latency,
+                g.dram_latency
+            )),
+        }
+        out.push_str(",\n  \"launches\": [\n");
+        let rows: Vec<String> = self
+            .launches
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{\"key\": {}, \"start_cycle\": {}, \"cycles\": {}, \"sms\": {}}}",
+                    l.key, l.start_cycle, l.cycles, l.sms
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ],\n  \"matrix\": [\n");
+        let rows: Vec<String> = self.matrix.iter().map(matrix_row_json).collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the human-readable summary: per-SM utilization, cache hit
+    /// rates per level, the divergence profile, and the Fig. 15-style
+    /// fetch-latency breakdown.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "grtx-prof: {} launches, {} matrix cells\n",
+            self.launches.len(),
+            self.matrix.len()
+        ));
+        if let Some(g) = &self.gpu {
+            let total: u64 = self.launches.iter().map(|l| l.cycles).sum();
+            out.push_str(&format!(
+                "gpu: {} SMs @ {} MHz, warp {} x buffer {}; profiled span {} cycles ({:.3} ms)\n",
+                g.num_sms,
+                g.clock_mhz,
+                g.warp_size,
+                g.warp_buffer_size,
+                total,
+                g.cycles_to_ms(total)
+            ));
+        }
+        // Per-SM utilization: busy cycles summed over launches, relative
+        // to the busiest SM.
+        let num_sms = 1 + self.matrix.iter().map(|r| r.sm).max().unwrap_or(0);
+        let mut busy = vec![0u64; num_sms];
+        let mut warps = vec![0u64; num_sms];
+        for row in &self.matrix {
+            busy[row.sm] += row.busy_cycles;
+            warps[row.sm] += row.warps;
+        }
+        let busiest = busy.iter().copied().max().unwrap_or(0).max(1);
+        out.push_str(&format!(
+            "\n{:<8} {:>14} {:>8} {:>12}\n",
+            "sm", "busy cycles", "warps", "utilization"
+        ));
+        for (sm, (&cycles, &w)) in busy.iter().zip(&warps).enumerate() {
+            out.push_str(&format!(
+                "sm-{sm:02}    {:>14} {:>8} {:>11.1}%\n",
+                cycles,
+                w,
+                100.0 * cycles as f64 / busiest as f64
+            ));
+        }
+        // Cache hit rates per level, and the latency each level
+        // contributed (every access pays L1 latency; misses add the next
+        // level on top — the Fig. 15 average-fetch-latency decomposition).
+        let l1_acc: u64 = self.matrix.iter().map(|r| r.l1_accesses).sum();
+        let l1_hit: u64 = self.matrix.iter().map(|r| r.l1_hits).sum();
+        let l2_acc: u64 = self.matrix.iter().map(|r| r.l2_accesses).sum();
+        let l2_hit: u64 = self.matrix.iter().map(|r| r.l2_hits).sum();
+        let dram: u64 = self.matrix.iter().map(|r| r.dram_accesses).sum();
+        let rate = |hits: u64, acc: u64| {
+            if acc == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / acc as f64
+            }
+        };
+        out.push_str(&format!(
+            "\ncache: L1 {:.1}% of {} | L2-slice {:.1}% of {} | DRAM {}\n",
+            rate(l1_hit, l1_acc),
+            l1_acc,
+            rate(l2_hit, l2_acc),
+            l2_acc,
+            dram
+        ));
+        if let Some(g) = &self.gpu {
+            let totals = self.matrix_totals();
+            let l1_cyc = l1_acc * g.l1_latency;
+            let l2_cyc = l2_acc * g.l2_latency;
+            let dram_cyc = dram * g.dram_latency;
+            let sum = (l1_cyc + l2_cyc + dram_cyc).max(1);
+            out.push_str(&format!(
+                "fetch latency: avg {:.1} cycles; est. breakdown L1 {:.1}% / L2 {:.1}% / DRAM {:.1}%\n",
+                totals.avg_fetch_latency(),
+                100.0 * l1_cyc as f64 / sum as f64,
+                100.0 * l2_cyc as f64 / sum as f64,
+                100.0 * dram_cyc as f64 / sum as f64
+            ));
+        }
+        // Divergence profile over all warp-rounds: digests can't merge,
+        // so the aggregate means come from count-weighted sums.
+        let rounds: u64 = self.matrix.iter().map(|r| r.lane_occupancy.count).sum();
+        let weighted = |f: fn(&MatrixRow) -> (u64, f64)| -> f64 {
+            let (mut n, mut sum) = (0u64, 0.0f64);
+            for row in &self.matrix {
+                let (count, mean) = f(row);
+                n += count;
+                sum += count as f64 * mean;
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        };
+        let mean_active = weighted(|r| (r.lane_occupancy.count, r.lane_occupancy.mean));
+        let mean_idle = weighted(|r| (r.divergence.count, r.divergence.mean));
+        out.push_str(&format!(
+            "divergence: {rounds} warp-rounds, mean {mean_active:.1} active / {mean_idle:.1} idle lanes\n",
+        ));
+        // Buffer high-water marks across every occupancy sample.
+        let mut ckpt = 0u64;
+        let mut evict = 0u64;
+        let mut kbuf = 0u64;
+        for row in &self.matrix {
+            for s in &row.occupancy {
+                ckpt = ckpt.max(s.checkpoint);
+                evict = evict.max(s.eviction);
+                kbuf = kbuf.max(s.kbuffer);
+            }
+        }
+        out.push_str(&format!(
+            "buffers: checkpoint high-water {ckpt}, eviction {evict}, k-buffer {kbuf}\n"
+        ));
+        out
+    }
+}
+
+fn hist_json(h: &HistDigest) -> String {
+    format!(
+        "{{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"max\": {}}}",
+        h.count, h.mean, h.p50, h.p95, h.max
+    )
+}
+
+fn matrix_row_json(row: &MatrixRow) -> String {
+    let s = &row.stats;
+    let series: Vec<String> = row
+        .occupancy
+        .iter()
+        .map(|o| {
+            format!(
+                "[{},{},{},{}]",
+                o.cycle, o.checkpoint, o.eviction, o.kbuffer
+            )
+        })
+        .collect();
+    format!(
+        "    {{\"launch\": {}, \"sm\": {}, \"busy_cycles\": {}, \"warps\": {}, \
+         \"node_fetches_total\": {}, \"node_fetches_unique\": {}, \
+         \"internal_fetches_total\": {}, \"internal_fetches_unique\": {}, \
+         \"fetch_latency_cycles\": {}, \"box_tests\": {}, \"triangle_tests\": {}, \
+         \"sphere_tests\": {}, \"ellipsoid_tests\": {}, \"ray_transforms\": {}, \
+         \"any_hit_invocations\": {}, \"checkpoint_writes\": {}, \"checkpoint_reads\": {}, \
+         \"eviction_writes\": {}, \"peak_checkpoint_entries\": {}, \
+         \"peak_eviction_entries\": {}, \"rounds\": {}, \"rays\": {}, \
+         \"blended_gaussians\": {}, \"l1_accesses\": {}, \"l1_hits\": {}, \
+         \"l2_accesses\": {}, \"l2_hits\": {}, \"dram_accesses\": {}, \
+         \"prefetch_installs\": {}, \"lane_occupancy\": {}, \"divergence\": {}, \
+         \"occupancy\": [{}]}}",
+        row.launch,
+        row.sm,
+        row.busy_cycles,
+        row.warps,
+        s.node_fetches_total,
+        s.node_fetches_unique,
+        s.internal_fetches_total,
+        s.internal_fetches_unique,
+        s.fetch_latency_cycles,
+        s.box_tests,
+        s.triangle_tests,
+        s.sphere_tests,
+        s.ellipsoid_tests,
+        s.ray_transforms,
+        s.any_hit_invocations,
+        s.checkpoint_writes,
+        s.checkpoint_reads,
+        s.eviction_writes,
+        s.peak_checkpoint_entries,
+        s.peak_eviction_entries,
+        s.rounds,
+        s.rays,
+        s.blended_gaussians,
+        row.l1_accesses,
+        row.l1_hits,
+        row.l2_accesses,
+        row.l2_hits,
+        row.dram_accesses,
+        row.prefetch_installs,
+        hist_json(&row.lane_occupancy),
+        hist_json(&row.divergence),
+        series.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FragmentRecorder;
+    use grtx_sim::{GpuConfig, GpuSim};
+
+    fn two_launch_report() -> ProfReport {
+        let frag = |sm: usize, busy: u64| {
+            let mut rec = FragmentRecorder::new(sm);
+            rec.admit(0);
+            rec.warp_round(30, 32);
+            rec.round_end(busy, 2, 1, 6);
+            rec.retire(0);
+            let mut sim = GpuSim::new(GpuConfig::default().sm_slice());
+            sim.stats.rays = 32;
+            sim.stats.rounds = 1;
+            sim.stats.peak_checkpoint_entries = 2 + sm as u64;
+            sim.mem.l1_structure_accesses = 100;
+            sim.mem.l1_structure_hits = 80;
+            rec.finish(&sim)
+        };
+        ProfReport::build(
+            Some(GpuDesc::of(&GpuConfig::default())),
+            vec![(0, frag(0, 500)), (0, frag(1, 700)), (1, frag(0, 300))],
+        )
+    }
+
+    #[test]
+    fn launches_are_placed_back_to_back() {
+        let r = two_launch_report();
+        assert_eq!(r.launches.len(), 2);
+        assert_eq!(r.launches[0].start_cycle, 0);
+        assert_eq!(r.launches[0].cycles, 700);
+        assert_eq!(r.launches[0].sms, 2);
+        assert_eq!(r.launches[1].start_cycle, 700);
+        assert_eq!(r.launches[1].cycles, 300);
+    }
+
+    #[test]
+    fn matrix_totals_fold_like_simstats() {
+        let r = two_launch_report();
+        let totals = r.matrix_totals();
+        assert_eq!(totals.rays, 96);
+        assert_eq!(totals.rounds, 3);
+        // Peaks max-merge, exactly as SimStats::merge does.
+        assert_eq!(totals.peak_checkpoint_entries, 3);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_carries_required_keys() {
+        let json = two_launch_report().to_json();
+        for key in [
+            "\"schema\": \"grtx-prof-v1\"",
+            "\"gpu\"",
+            "\"num_sms\": 8",
+            "\"launches\"",
+            "\"matrix\"",
+            "\"busy_cycles\": 700",
+            "\"lane_occupancy\"",
+            "\"occupancy\": [[500,2,1,6]]",
+            "\"l1_hits\": 80",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn summary_table_lists_every_section() {
+        let table = two_launch_report().summary_table();
+        for needle in [
+            "2 launches",
+            "sm-00",
+            "sm-01",
+            "utilization",
+            "cache: L1 80.0%",
+            "fetch latency",
+            "divergence",
+            "buffers: checkpoint high-water 2",
+        ] {
+            assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let r = ProfReport::build(None, Vec::new());
+        let json = r.to_json();
+        assert!(json.contains("\"gpu\": null"));
+        assert!(json.contains("grtx-prof-v1"));
+        assert!(!r.summary_table().is_empty());
+    }
+}

@@ -56,6 +56,7 @@ use crate::renderer::{shader_cycles, RenderConfig, RenderReport, SecondaryBreakd
 use crate::tracer::{RayTracer, TraceParams};
 use grtx_bvh::{AccelStruct, PacketCacheStats, RayPacket4};
 use grtx_math::Ray;
+use grtx_prof::{FragmentProfile, FragmentRecorder, Profiler};
 use grtx_scene::{Camera, EffectObjects, GaussianScene};
 use grtx_sim::fasthash::FastMap;
 use grtx_sim::{GpuConfig, GpuSim, RayTraceState, WarpSchedule};
@@ -145,6 +146,11 @@ pub struct SmOutcome {
     /// simulated statistics bit-identical, so their observability rides
     /// on the side and reaches the user only through telemetry counters.
     packet_stats: PacketCacheStats,
+    /// The fragment's microarchitecture profile, recorded only when the
+    /// engine's [`Profiler`] is enabled. Rides on the side exactly like
+    /// `packet_stats` — never into `SimStats`/`RenderReport` — and is
+    /// drained into the profiler sink at merge time.
+    profile: Option<FragmentProfile>,
 }
 
 /// Whole-image renderer executing simulated SMs in parallel.
@@ -158,6 +164,7 @@ pub struct RenderEngine {
     gpu: GpuConfig,
     threads: usize,
     telemetry: Telemetry,
+    profiler: Profiler,
 }
 
 impl RenderEngine {
@@ -168,6 +175,7 @@ impl RenderEngine {
             gpu,
             threads: 0,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
         }
     }
 
@@ -185,6 +193,17 @@ impl RenderEngine {
     /// Telemetry never changes images, cycles, or statistics.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a simulated-cycle profiler: fragments record per-SM
+    /// hardware counters, warp timelines, and per-round occupancy on the
+    /// virtual clock, drained into the handle's sink at merge time. The
+    /// default (disabled) handle records nothing, and every hook in the
+    /// warp queue costs one `Option` branch. Profiling never changes
+    /// images, cycles, or statistics.
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 
@@ -243,6 +262,27 @@ impl RenderEngine {
     /// Returns one report per camera, in input order.
     pub fn render_batch(
         &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        cameras: &[Camera],
+        effects: Option<&EffectObjects>,
+        config: &RenderConfig,
+    ) -> Vec<RenderReport> {
+        self.render_batch_keyed(0, accel, scene, cameras, effects, config)
+    }
+
+    /// [`Self::render_batch`] with an explicit profiler key base: camera
+    /// `c` profiles under launch key `base_key + c`.
+    ///
+    /// Callers that drive many batches through one engine pick
+    /// non-overlapping bases so launches stay separable in profile
+    /// exports — the frame pipeline passes `frame << 32`, matching the
+    /// `(frame << 32) | camera` keys of its task-graph path so both
+    /// paths emit byte-identical profiles. Rendering itself ignores the
+    /// key entirely.
+    pub fn render_batch_keyed(
+        &self,
+        base_key: u64,
         accel: &AccelStruct,
         scene: &GaussianScene,
         cameras: &[Camera],
@@ -355,7 +395,16 @@ impl RenderEngine {
                     .take(num_sms)
                     .map(|o| o.expect("every SM fragment ran"));
                 merge_recorder.scope("render.merge", cam as u64, |_| {
-                    merge_camera(launch, camera, config, &schedule, mine, &self.telemetry)
+                    merge_camera(
+                        launch,
+                        camera,
+                        config,
+                        &schedule,
+                        mine,
+                        &self.telemetry,
+                        &self.profiler,
+                        base_key + cam as u64,
+                    )
                 })
             })
             .collect()
@@ -430,13 +479,44 @@ impl RenderEngine {
         config: &RenderConfig,
         outcomes: Vec<SmOutcome>,
     ) -> RenderReport {
+        self.merge_launch_keyed(0, launch, camera, config, outcomes)
+    }
+
+    /// [`Self::merge_launch`] with an explicit profiler launch key.
+    ///
+    /// When the engine profiles, every fragment profile lands in the sink
+    /// under `key`, and exports order launches by it. Drivers that merge
+    /// many launches through one engine (the frame pipeline keys by
+    /// `(frame << 32) | camera`) must pass distinct keys so per-launch
+    /// rows stay separable; `merge_launch` files everything under key 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes.len() != self.fragments_per_launch()`.
+    pub fn merge_launch_keyed(
+        &self,
+        key: u64,
+        launch: &CameraLaunch,
+        camera: &Camera,
+        config: &RenderConfig,
+        outcomes: Vec<SmOutcome>,
+    ) -> RenderReport {
         assert_eq!(
             outcomes.len(),
             self.fragments_per_launch(),
             "merge needs exactly one outcome per SM, in SM order"
         );
         let schedule = WarpSchedule::new(&self.gpu);
-        merge_camera(launch, camera, config, &schedule, outcomes, &self.telemetry)
+        merge_camera(
+            launch,
+            camera,
+            config,
+            &schedule,
+            outcomes,
+            &self.telemetry,
+            &self.profiler,
+            key,
+        )
     }
 
     /// Simulates one `(camera, SM)` fragment: the launch's primary warps
@@ -454,6 +534,13 @@ impl RenderEngine {
         warp_size: usize,
     ) -> SmOutcome {
         let mut sim = GpuSim::sm_shard(&self.gpu);
+        // When profiling, this fragment gets its own recorder on the
+        // SM-local virtual clock; the finished profile snapshots the
+        // fragment's private counters *before* the merge absorbs them,
+        // which is what makes the counter matrix sum exactly to the
+        // global `SimStats`.
+        self.profiler.observe_gpu(&self.gpu);
+        let mut profile = self.profiler.fragment_recorder(sm);
         let mut warp_times = Vec::new();
         let mut blends = Vec::new();
         // Secondary warps continue the round-robin where the primary
@@ -482,6 +569,9 @@ impl RenderEngine {
             let my_warps: Vec<usize> = (0..warp_count)
                 .filter(|w| schedule.sm_of_launch_warp(warp_base + w) == sm)
                 .collect();
+            if let Some(rec) = profile.as_mut() {
+                rec.begin_phase(warp_base);
+            }
             run_warp_queue(
                 &mut sim,
                 accel,
@@ -492,15 +582,18 @@ impl RenderEngine {
                 warp_size,
                 packets,
                 &mut packet_stats,
+                profile.as_mut(),
                 |warp, times| warp_times.push((warp_base + warp, times)),
                 |job, blend| blends.push((job_base + job, blend)),
             );
         }
+        let profile = profile.map(|rec| rec.finish(&sim));
         SmOutcome {
             sim,
             warp_times,
             blends,
             packet_stats,
+            profile,
         }
     }
 }
@@ -508,6 +601,7 @@ impl RenderEngine {
 /// Merges one camera's fragment outcomes in the order given (callers
 /// pass SM order): warp times land at their launch-local indices, blend
 /// states at their jobs, and the per-SM simulators absorb in sequence.
+#[allow(clippy::too_many_arguments)]
 fn merge_camera(
     launch: &CameraLaunch,
     camera: &Camera,
@@ -515,13 +609,22 @@ fn merge_camera(
     schedule: &WarpSchedule,
     outcomes: impl IntoIterator<Item = SmOutcome>,
     telemetry: &Telemetry,
+    profiler: &Profiler,
+    key: u64,
 ) -> RenderReport {
     let mut warps = vec![(0u64, 0u64); launch.total_warps()];
     let mut primary_blends = vec![BlendState::new(); launch.primary_jobs.len()];
     let mut secondary_blends = vec![BlendState::new(); launch.secondary_jobs.len()];
     let mut agg: Option<GpuSim> = None;
     let mut packet_totals = PacketCacheStats::default();
-    for outcome in outcomes {
+    for mut outcome in outcomes {
+        // Fragment profiles detach before the sims fold together: the
+        // sink receives per-(launch, SM) snapshots and re-sorts every
+        // export by (key, SM), so concurrent camera merges may submit in
+        // any order.
+        if let Some(profile) = outcome.profile.take() {
+            profiler.submit(key, profile);
+        }
         packet_totals.absorb(&outcome.packet_stats);
         for (warp, times) in &outcome.warp_times {
             warps[*warp] = *times;
@@ -661,6 +764,7 @@ fn run_warp_queue<'a>(
     warp_size: usize,
     packets: bool,
     packet_stats: &mut PacketCacheStats,
+    mut profile: Option<&mut FragmentRecorder>,
     mut on_warp_done: impl FnMut(usize, (u64, u64)),
     mut on_blend: impl FnMut(usize, BlendState),
 ) {
@@ -711,10 +815,17 @@ fn run_warp_queue<'a>(
         }
     };
 
+    // Profiling reads what the cost model already computes (plus cheap
+    // occupancy getters), so the simulated outcome is identical with the
+    // recorder on or off; with it off, every hook is one `Option` branch.
+    let profiling = profile.is_some();
     loop {
         // Admit warps up to the buffer depth.
         while resident.len() < buffer_depth {
             let Some(w) = pending.pop_front() else { break };
+            if let Some(rec) = profile.as_deref_mut() {
+                rec.admit(w);
+            }
             resident.push(make_exec(w));
         }
         if resident.is_empty() {
@@ -722,9 +833,14 @@ fn run_warp_queue<'a>(
         }
         // Advance every resident warp by one round.
         let mut finished: Vec<usize> = Vec::new();
+        let mut round_advance = 0u64;
+        let mut ckpt_high = 0u64;
+        let mut evict_high = 0u64;
+        let mut kbuf_high = 0u64;
         for (slot, warp) in resident.iter_mut().enumerate() {
             let mut round_compute = 0u64;
             let mut round_stall = 0u64;
+            let mut active_lanes = 0u64;
             for (tracer, state) in warp.tracers.iter_mut().zip(warp.states.iter_mut()) {
                 if tracer.is_done() {
                     continue;
@@ -745,18 +861,36 @@ fn run_warp_queue<'a>(
                     .stats
                     .peak_eviction_entries
                     .max(tracer.peak_eviction_entries as u64);
+                if profiling {
+                    active_lanes += 1;
+                    kbuf_high = kbuf_high.max(report.kbuffer_high_water);
+                    ckpt_high = ckpt_high.max(tracer.checkpoint_occupancy() as u64);
+                    evict_high = evict_high.max(tracer.eviction_occupancy() as u64);
+                }
             }
             warp.compute += round_compute + round_overhead;
             warp.stall += round_stall;
+            if let Some(rec) = profile.as_deref_mut() {
+                rec.warp_round(active_lanes, warp.tracers.len() as u64);
+                // The SM's clock advances by the slowest resident warp's
+                // full round: issue + memory stall + fixed overhead.
+                round_advance = round_advance.max(round_compute + round_overhead + round_stall);
+            }
             if warp.is_done() {
                 finished.push(slot);
             }
+        }
+        if let Some(rec) = profile.as_deref_mut() {
+            rec.round_end(round_advance, ckpt_high, evict_high, kbuf_high);
         }
         // Retire finished warps (back to front to keep indices valid).
         for &slot in finished.iter().rev() {
             let warp = resident.swap_remove(slot);
             for packet in &warp.packets {
                 packet_stats.absorb(&packet.borrow().cache_stats());
+            }
+            if let Some(rec) = profile.as_deref_mut() {
+                rec.retire(warp.index);
             }
             on_warp_done(warp.index, (warp.compute, warp.stall));
             let base = warp.index * warp_size;

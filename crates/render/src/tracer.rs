@@ -106,6 +106,10 @@ pub struct RoundReport {
     pub blended: u32,
     /// Post-traversal sort steps (single-round mode only).
     pub deferred_sort_steps: u64,
+    /// Largest k-buffer occupancy this round (single-round mode reports
+    /// the full buffered hit list). Pure observability for the profiler's
+    /// Fig. 20-style occupancy series — the cost model never reads it.
+    pub kbuffer_high_water: u64,
 }
 
 impl RoundReport {
@@ -193,6 +197,18 @@ impl<'a> RayTracer<'a> {
         self.rounds
     }
 
+    /// Current checkpoint-buffer occupancy (entries pending replay next
+    /// round) — the profiler samples this per tracing round.
+    pub fn checkpoint_occupancy(&self) -> usize {
+        self.ckpt_src.len()
+    }
+
+    /// Current eviction-buffer occupancy (entries awaiting k-buffer
+    /// reseed) — the profiler samples this per tracing round.
+    pub fn eviction_occupancy(&self) -> usize {
+        self.evictions.len()
+    }
+
     /// Final (or in-progress) blend state.
     pub fn blend_state(&self) -> &BlendState {
         &self.blend
@@ -263,6 +279,7 @@ impl<'a> RayTracer<'a> {
             status: Some(RoundStatus::Done),
             blended,
             deferred_sort_steps,
+            kbuffer_high_water: n,
             ..Default::default()
         }
     }
@@ -353,6 +370,7 @@ impl<'a> RayTracer<'a> {
         // Blend the k-buffer front-to-back with ERT.
         let entries = kbuf.drain_sorted();
         let n = entries.len();
+        report.kbuffer_high_water = n as u64;
         for (t, g) in entries {
             if t > self.params.t_scene_max {
                 self.done = true;

@@ -102,6 +102,13 @@ impl GpuConfig {
         self.num_sms * self.warp_buffer_size
     }
 
+    /// Converts simulated cycles into milliseconds at the configured
+    /// core clock — the bridge from the profiler's virtual timebase
+    /// (integer cycles) to human-readable time columns.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1_000.0)
+    }
+
     /// The configuration of one SM's *shard* of the GPU: a single SM
     /// with its private L1 over a **private** `1/num_sms`-capacity L2.
     ///

@@ -92,8 +92,8 @@ impl GpuSim {
     }
 
     /// Converts accumulated cycles into milliseconds at the configured
-    /// core clock.
+    /// core clock (see [`GpuConfig::cycles_to_ms`]).
     pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
-        cycles as f64 / (self.config.clock_mhz * 1_000.0)
+        self.config.cycles_to_ms(cycles)
     }
 }

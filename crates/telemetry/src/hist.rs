@@ -64,6 +64,19 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Folds another histogram into this one, bucket-wise. Absorption is
+    /// commutative and associative, so per-fragment histograms merged in
+    /// any order produce identical totals — the property the profiler's
+    /// canonical-merge path relies on.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -145,6 +158,32 @@ mod tests {
             // The next bucket's floor must exceed v.
             assert!(bucket_floor(b + 1) > v);
         }
+    }
+
+    #[test]
+    fn absorb_matches_recording_into_one() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0u64, 5, 31, 32, 1000, 1 << 20] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 7, 999, 123_456] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.absorb(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+        // Absorbing an empty histogram changes nothing.
+        let before = a.count();
+        a.absorb(&Histogram::default());
+        assert_eq!(a.count(), before);
     }
 
     #[test]

@@ -71,6 +71,13 @@ pub enum ClockMode {
     /// Every timestamp and duration is exactly `0` — timing fields
     /// become constants, so two runs compare exactly equal on them.
     Null,
+    /// Timestamps come from the *caller*, not a clock: scopes record
+    /// `0` exactly like [`ClockMode::Null`], and spans are stamped via
+    /// [`SpanRecorder::record_at`] on an externally supplied timebase
+    /// (grtx-prof uses simulated GPU cycles, one tick per cycle). The
+    /// handle itself never reads wall time, so exports are bit-identical
+    /// across runs and thread counts by construction.
+    Virtual,
 }
 
 /// One recorded span: a named, timed scope on one thread.
@@ -217,9 +224,12 @@ impl Telemetry {
     /// seconds before telemetry existed keeps doing so — while the null
     /// clock pins every reading to exactly `0.0`.
     pub fn stopwatch(&self) -> Stopwatch {
-        let null = matches!(&self.inner, Some(inner) if inner.clock == ClockMode::Null);
+        let clockless = matches!(
+            &self.inner,
+            Some(inner) if inner.clock != ClockMode::Wall
+        );
         Stopwatch {
-            start: (!null).then(Instant::now),
+            start: (!clockless).then(Instant::now),
         }
     }
 
@@ -406,6 +416,33 @@ impl SpanRecorder {
         self.stack.push((name, key, start));
     }
 
+    /// Records one already-completed span with caller-supplied
+    /// timestamps — the [`ClockMode::Virtual`] entry point. The caller
+    /// owns the timebase (grtx-prof stamps simulated cycles, one trace
+    /// tick per cycle); the recorder never reads a clock here, so the
+    /// resulting events are pure functions of the caller's data. The
+    /// span nests under any scopes currently open on this recorder.
+    pub fn record_at(&mut self, name: &'static str, key: u64, start: u64, dur: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        let mut path = String::new();
+        for (parent, _, _) in &self.stack {
+            path.push_str(parent);
+            path.push('/');
+        }
+        path.push_str(name);
+        self.events.push(SpanEvent {
+            name,
+            key,
+            path,
+            start_us: start,
+            dur_us: dur,
+            seq: self.seq,
+        });
+        self.seq += 1;
+    }
+
     fn close(&mut self) {
         let (name, key, start) = self.stack.pop().expect("close without open");
         let end = self.now_us();
@@ -515,6 +552,34 @@ mod tests {
         drop(rec);
         let report = t.report().unwrap();
         assert_eq!(report.spans[0].total_us, 0);
+    }
+
+    #[test]
+    fn virtual_clock_spans_carry_caller_timestamps() {
+        let t = Telemetry::with_clock(ClockMode::Virtual);
+        assert_eq!(t.now_us(), 0);
+        let sw = t.stopwatch();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(sw.seconds(), 0.0);
+        let mut rec = t.recorder("sm-00");
+        rec.record_at("warp", 3, 100, 250);
+        rec.scope("launch", 0, |rec| rec.record_at("warp", 4, 400, 50));
+        drop(rec);
+        let trace = t.chrome_trace().unwrap();
+        assert!(trace.contains("\"ts\":100,\"dur\":250"));
+        assert!(trace.contains("\"ts\":400,\"dur\":50"));
+        let report = t.report().unwrap();
+        let paths: Vec<&str> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["launch", "launch/warp", "warp"]);
+    }
+
+    #[test]
+    fn record_at_on_disabled_recorder_is_a_no_op() {
+        let t = Telemetry::disabled();
+        let mut rec = t.recorder("sm-00");
+        rec.record_at("warp", 0, 10, 20);
+        drop(rec);
+        assert!(t.chrome_trace().is_none());
     }
 
     #[test]

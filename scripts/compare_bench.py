@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff a freshly dumped bench JSON against a committed baseline.
+
+Usage: compare_bench.py <baseline.json> <current.json> [--warn-over PCT]
+                        [--fail-over PCT]
+
+Both files are dump_*_baseline documents: a flat numeric "results"
+object plus provenance. Every key present in both is compared; wall-time
+keys (``*_ms``, ``*_ns``) regressions over the warn threshold (default
+15%) print a warning — a GitHub Actions ``::warning::`` annotation when
+running in CI — and count toward the exit code only past ``--fail-over``
+(default: never). Non-time keys (simulated cycles, counts) are
+deterministic, so *any* drift there is reported; it means the modeled
+workload changed, not the host. Keys present in only one file are
+listed as schema drift. Exits 0 unless ``--fail-over`` trips or the
+files are malformed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def emit_warning(message: str) -> None:
+    print(f"compare_bench: WARN: {message}")
+    import os
+
+    if os.environ.get("GITHUB_ACTIONS"):
+        print(f"::warning title=bench regression::{message}")
+
+
+def load_results(path: str) -> dict:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"compare_bench: FAIL: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        print(f"compare_bench: FAIL: {path} has no results object", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def is_wall_time(key: str) -> bool:
+    return key.endswith(("_ms", "_ns"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--warn-over", type=float, default=15.0, metavar="PCT")
+    parser.add_argument("--fail-over", type=float, default=None, metavar="PCT")
+    args = parser.parse_args()
+
+    base_doc = load_results(args.baseline)
+    cur_doc = load_results(args.current)
+    base, cur = base_doc["results"], cur_doc["results"]
+
+    base_prov = base_doc.get("provenance", {})
+    cur_prov = cur_doc.get("provenance", {})
+    if base_prov != cur_prov:
+        changed = sorted(
+            k
+            for k in set(base_prov) | set(cur_prov)
+            if base_prov.get(k) != cur_prov.get(k)
+        )
+        print(
+            "compare_bench: note: build provenance differs "
+            f"({', '.join(changed)}) — wall-time deltas may reflect the "
+            "environment, not the code"
+        )
+
+    missing = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    for key in missing:
+        emit_warning(f"baseline key {key!r} missing from current dump (schema drift)")
+    for key in added:
+        print(f"compare_bench: note: new key {key!r} not in baseline")
+
+    worst = 0.0
+    regressions = 0
+    for key in sorted(set(base) & set(cur)):
+        b, c = base[key], cur[key]
+        if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+            continue
+        if is_wall_time(key):
+            if b <= 0:
+                continue
+            delta = (c - b) / b * 100.0
+            marker = ""
+            if delta > args.warn_over:
+                regressions += 1
+                worst = max(worst, delta)
+                marker = "  <-- regression"
+                emit_warning(
+                    f"{key}: {b:g} -> {c:g} ({delta:+.1f}% > {args.warn_over:g}% threshold)"
+                )
+            print(f"compare_bench: {key}: {b:g} -> {c:g} ({delta:+.1f}%){marker}")
+        elif b != c:
+            # Deterministic quantities: any drift is a behavior change.
+            emit_warning(f"{key}: deterministic value changed {b:g} -> {c:g}")
+
+    if regressions == 0:
+        print(f"compare_bench: OK — no wall-time regression over {args.warn_over:g}%")
+    if args.fail_over is not None and worst > args.fail_over:
+        print(
+            f"compare_bench: FAIL: worst regression {worst:+.1f}% exceeds "
+            f"--fail-over {args.fail_over:g}%",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
