@@ -27,6 +27,9 @@ use crate::lexer::{find_word, has_word, lex, Line};
 pub const UNSAFE_CRATE: &str = "grtx-math";
 /// The crate allowed to read wall clocks (behind `ClockMode`).
 pub const CLOCK_CRATE: &str = "grtx-telemetry";
+/// The crates allowed to catch or rethrow panics (the fault-injection
+/// machinery and the pipeline's single recovery choke point).
+pub const PANIC_CRATES: &[&str] = &["grtx-fault", "grtx-pipeline"];
 
 /// Where a file sits in its crate — determines which lints apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,7 +111,7 @@ pub struct LintInfo {
     pub rationale: &'static str,
 }
 
-/// The seven determinism/safety lints plus the two waiver meta-lints.
+/// The eight determinism/safety lints plus the two waiver meta-lints.
 pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "unsafe-needs-safety",
@@ -157,6 +160,13 @@ pub const LINTS: &[LintInfo] = &[
         rationale: "detached threads outlive their launch scope and merge results in completion \
                     order; std::thread::scope fan-outs join deterministically before results \
                     are combined",
+    },
+    LintInfo {
+        id: "panic-containment",
+        summary: "catch_unwind/resume_unwind only inside grtx-fault and grtx-pipeline",
+        rationale: "a panic caught outside the pipeline's single choke point can swallow an \
+                    injected fault or a poisoned-pool payload before the retry/quarantine \
+                    machinery sees it, forking recovery behavior from the audited path",
     },
     LintInfo {
         id: "waiver-needs-reason",
@@ -231,6 +241,7 @@ pub fn analyze_source(spec: &SourceSpec) -> FileAnalysis {
     lint_float_total_order(&cx, &mut raw);
     lint_fma_containment(&cx, &mut raw);
     lint_no_unscoped_spawn(&cx, &mut raw);
+    lint_panic_containment(&cx, &mut raw);
 
     // Waiver matching: a finding at line L is suppressed by a waiver for
     // the same lint whose extent covers L. File-level findings (anchored
@@ -683,6 +694,29 @@ fn lint_no_unscoped_spawn(cx: &FileCx, out: &mut Vec<Finding>) {
                 break;
             }
             from = at + "spawn".len();
+        }
+    }
+}
+
+/// `panic-containment`: `catch_unwind` / `resume_unwind` outside the
+/// fault-injection crate and the pipeline's recovery choke point.
+fn lint_panic_containment(cx: &FileCx, out: &mut Vec<Finding>) {
+    if PANIC_CRATES.contains(&cx.spec.crate_name.as_str()) {
+        return;
+    }
+    for (i, line) in cx.lines.iter().enumerate() {
+        for name in ["catch_unwind", "resume_unwind"] {
+            if has_word(&line.code, name) {
+                out.push(cx.finding(
+                    i,
+                    "panic-containment",
+                    format!(
+                        "`{name}` outside {} — panics funnel through the pipeline's \
+                         retry/quarantine choke point; use the typed try_* APIs instead",
+                        PANIC_CRATES.join("/")
+                    ),
+                ));
+            }
         }
     }
 }

@@ -446,6 +446,73 @@ pub fn watchdog() {
 }
 
 // ---------------------------------------------------------------------------
+// panic-containment
+
+#[test]
+fn panic_containment_fires_outside_the_fault_and_pipeline_crates() {
+    let content = r##"
+pub fn shield<F: FnOnce() -> u32 + std::panic::UnwindSafe>(f: F) -> Option<u32> {
+    std::panic::catch_unwind(f).ok()
+}
+"##;
+    let r = run(spec("grtx-render", Role::Src, false, content));
+    assert_eq!(ids(&r), ["panic-containment"]);
+    assert_eq!(r.findings[0].line, 3);
+
+    // Tests and examples are in scope too: a swallowed panic in a test
+    // harness hides the payload the poison-path contract pins.
+    let r = run(spec(
+        "grtx-core",
+        Role::Tests,
+        false,
+        r##"
+fn rethrow(payload: Box<dyn std::any::Any + Send>) -> ! {
+    std::panic::resume_unwind(payload)
+}
+"##,
+    ));
+    assert_eq!(ids(&r), ["panic-containment"]);
+}
+
+#[test]
+fn panic_containment_clean_inside_fault_and_pipeline() {
+    let content = r##"
+pub fn shield<F: FnOnce() -> u32 + std::panic::UnwindSafe>(f: F) -> Option<u32> {
+    std::panic::catch_unwind(f).ok()
+}
+"##;
+    for (crate_name, role) in [
+        ("grtx-fault", Role::Src),
+        ("grtx-pipeline", Role::Src),
+        ("grtx-pipeline", Role::Tests),
+    ] {
+        let r = run(spec(crate_name, role, false, content));
+        assert!(
+            r.is_clean(),
+            "{crate_name}/{} must be exempt: {:?}",
+            role.name(),
+            r.findings
+        );
+    }
+}
+
+#[test]
+fn panic_containment_trailing_waiver() {
+    let r = run(spec(
+        "grtx-bench",
+        Role::Src,
+        false,
+        r##"
+pub fn harness(run: fn()) {
+    let _ = std::panic::catch_unwind(run); // grtx-allow(panic-containment): bench isolation only, payload is rethrown by the driver
+}
+"##,
+    ));
+    assert!(r.is_clean());
+    assert!(r.waivers[0].used);
+}
+
+// ---------------------------------------------------------------------------
 // Waiver meta-lints.
 
 #[test]

@@ -10,10 +10,10 @@
 //! cargo run --release --example fisheye_camera
 //! ```
 
-use grtx::{Camera, CameraModel, LayoutConfig, PipelineVariant, RenderConfig};
+use grtx::{Camera, CameraModel, GrtxError, LayoutConfig, PipelineVariant, RenderConfig};
 use grtx_math::Vec3;
 use grtx_render::renderer::render_functional;
-use grtx_render::{render_rasterized, RasterConfig};
+use grtx_render::{try_render_rasterized, RasterConfig};
 use grtx_scene::{synth::generate_scene, SceneKind};
 use grtx_sim::GpuConfig;
 
@@ -46,7 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // The rasterizer cannot express the fisheye projection at all.
+    // The rasterizer cannot express the fisheye projection at all: the
+    // fallible API reports the rejection as a typed error instead of a
+    // panic to catch.
     let fisheye = Camera::look_at(
         64,
         64,
@@ -55,23 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Vec3::ZERO,
         Vec3::Y,
     );
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {})); // keep the expected panic quiet
-    let raster_attempt = std::panic::catch_unwind(|| {
-        render_rasterized(
-            &scene,
-            &fisheye,
-            &RasterConfig::default(),
-            &GpuConfig::default(),
-        )
-    });
-    std::panic::set_hook(default_hook);
+    let raster_attempt = try_render_rasterized(
+        &scene,
+        &fisheye,
+        &RasterConfig::default(),
+        &GpuConfig::default(),
+    );
     println!(
         "rasterizer on the fisheye camera: {}",
-        if raster_attempt.is_err() {
-            "rejected (as expected)"
-        } else {
-            "unexpectedly succeeded!"
+        match raster_attempt {
+            Err(GrtxError::InvalidCamera { reason }) => format!("rejected (as expected): {reason}"),
+            Err(other) => format!("rejected with an unexpected error: {other}"),
+            Ok(_) => "unexpectedly succeeded!".to_string(),
         }
     );
     Ok(())

@@ -45,7 +45,7 @@ fn main() -> std::io::Result<()> {
     println!(
         "rendered {} frames ({} rebuilds)",
         frames.len(),
-        frames.iter().filter(|f| f.rebuilt).count()
+        frames.iter().filter(|f| f.rebuilt()).count()
     );
     println!(
         "chrome trace: {}\nreport json:  {}\n",

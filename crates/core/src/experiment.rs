@@ -2,6 +2,7 @@
 //! map one-to-one onto the paper's figures.
 
 use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+use grtx_fault::{FaultInjector, GrtxError, RetryPolicy};
 use grtx_pipeline::{FrameSource, JitterSource, OrbitSource, StreamConfig};
 use grtx_prof::Profiler;
 use grtx_render::engine::RenderEngine;
@@ -174,6 +175,17 @@ pub struct RunOptions {
     /// [`Profiler::chrome_trace`] or the `GRTX_PROFILE` helpers in
     /// [`crate::profile`].
     pub profiler: Profiler,
+    /// Deterministic fault-injection handle threaded through the frame
+    /// pipeline ([`Self::retry`] decides what happens when a fault
+    /// fires). The default (disabled) handle injects nothing and costs
+    /// one branch per probe; zero-fault runs are bit-identical with the
+    /// handle on or off.
+    pub faults: FaultInjector,
+    /// Stage-failure policy for frame streams: how many attempts each
+    /// stage task gets and whether exhausted frames quarantine to
+    /// [`StreamFrame::Failed`] instead of poisoning the run. The default
+    /// preserves the legacy panic-through behavior exactly.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RunOptions {
@@ -191,6 +203,8 @@ impl Default for RunOptions {
             shards: 0,
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -213,19 +227,73 @@ pub struct ExperimentResult {
     pub sharding: Option<ShardingSummary>,
 }
 
-/// One frame of a [`SceneSetup::run_stream`] frame stream: the frame's
-/// per-view experiment rows plus stream metadata.
+/// One frame of a [`SceneSetup::run_stream`] frame stream, in frame
+/// order. Under the default [`RunOptions::retry`] policy every frame is
+/// [`StreamFrame::Rendered`]; a quarantining policy surfaces frames
+/// whose stage tasks exhausted their attempts as [`StreamFrame::Failed`]
+/// — in order, while later frames keep rendering.
 #[derive(Debug, Clone)]
-pub struct StreamFrame {
+pub enum StreamFrame {
+    /// The frame rendered: its per-view experiment rows plus stream
+    /// metadata.
+    Rendered {
+        /// Frame index in the stream.
+        index: usize,
+        /// Whether this frame rebuilt the acceleration structure
+        /// (`false` when the frame source reported the scene unchanged
+        /// and the previous frame's structure was reused).
+        rebuilt: bool,
+        /// One result per camera, in view order — each bit-identical to
+        /// the corresponding [`SceneSetup::run_batch`] row for that
+        /// frame.
+        results: Vec<ExperimentResult>,
+    },
+    /// The frame was quarantined after exhausting its retry budget.
+    Failed {
+        /// Frame index in the stream.
+        index: usize,
+        /// Why the frame failed.
+        error: GrtxError,
+    },
+}
+
+impl StreamFrame {
     /// Frame index in the stream (results arrive in frame order).
-    pub index: usize,
-    /// Whether this frame rebuilt the acceleration structure (`false`
-    /// when the frame source reported the scene unchanged and the
-    /// previous frame's structure was reused).
-    pub rebuilt: bool,
-    /// One result per camera, in view order — each bit-identical to the
-    /// corresponding [`SceneSetup::run_batch`] row for that frame.
-    pub results: Vec<ExperimentResult>,
+    pub fn index(&self) -> usize {
+        match self {
+            Self::Rendered { index, .. } | Self::Failed { index, .. } => *index,
+        }
+    }
+
+    /// Whether this frame rebuilt the acceleration structure. Failed
+    /// frames report `false`.
+    pub fn rebuilt(&self) -> bool {
+        match self {
+            Self::Rendered { rebuilt, .. } => *rebuilt,
+            Self::Failed { .. } => false,
+        }
+    }
+
+    /// The frame's per-view experiment rows (empty for failed frames).
+    pub fn results(&self) -> &[ExperimentResult] {
+        match self {
+            Self::Rendered { results, .. } => results,
+            Self::Failed { .. } => &[],
+        }
+    }
+
+    /// Whether the frame was quarantined.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Self::Failed { .. })
+    }
+
+    /// The failure, when the frame was quarantined.
+    pub fn error(&self) -> Option<&GrtxError> {
+        match self {
+            Self::Rendered { .. } => None,
+            Self::Failed { error, .. } => Some(error),
+        }
+    }
 }
 
 /// A generated scene plus its evaluation camera, reused across variants.
@@ -395,6 +463,43 @@ impl SceneSetup {
         self.camera.orbit(views, 0.0)
     }
 
+    /// Validates the inputs a run of `(options, cameras)` would consume:
+    /// the GPU shape, every camera, and the scene (non-finite Gaussian
+    /// parameters would otherwise corrupt bounds silently).
+    fn validate_run(&self, options: &RunOptions, cameras: &[Camera]) -> Result<(), GrtxError> {
+        grtx_render::validate_gpu(&options.gpu)?;
+        for camera in cameras {
+            grtx_render::validate_camera(camera)?;
+        }
+        self.scene.validate()
+    }
+
+    /// Fallible [`Self::run`]: validates the GPU shape, camera, and
+    /// scene up front, returning a typed [`GrtxError`] instead of
+    /// panicking (or silently rendering garbage from non-finite
+    /// Gaussians). A passing run is bit-identical to [`Self::run`].
+    pub fn try_run(
+        &self,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+    ) -> Result<ExperimentResult, GrtxError> {
+        self.validate_run(options, std::slice::from_ref(&self.camera))?;
+        Ok(self.run(variant, options))
+    }
+
+    /// Fallible [`Self::run_batch`]: validates the GPU shape, every
+    /// camera, and the scene up front. A passing batch is bit-identical
+    /// to [`Self::run_batch`].
+    pub fn try_run_batch(
+        &self,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        cameras: &[Camera],
+    ) -> Result<Vec<ExperimentResult>, GrtxError> {
+        self.validate_run(options, cameras)?;
+        Ok(self.run_batch(variant, options, cameras))
+    }
+
     /// Runs one full simulated render for `(variant, options)`.
     pub fn run(&self, variant: &PipelineVariant, options: &RunOptions) -> ExperimentResult {
         let layout = Self::layout(options);
@@ -540,6 +645,33 @@ impl SceneSetup {
             effects: self.effects(options),
             telemetry: options.telemetry.clone(),
             profiler: options.profiler.clone(),
+            faults: options.faults.clone(),
+            retry: options.retry,
+        }
+    }
+
+    /// Converts a pipeline frame outcome into a [`StreamFrame`].
+    fn stream_frame(&self, outcome: grtx_pipeline::FrameOutcome) -> StreamFrame {
+        match outcome {
+            grtx_pipeline::FrameOutcome::Rendered(frame) => StreamFrame::Rendered {
+                index: frame.index,
+                rebuilt: frame.rebuilt,
+                results: frame
+                    .reports
+                    .into_iter()
+                    .map(|report| ExperimentResult {
+                        report,
+                        size: frame.size,
+                        height: frame.height,
+                        scale_factor: self.profile.full_gaussian_count as f64
+                            / frame.gaussians.max(1) as f64,
+                        sharding: frame.sharding.clone(),
+                    })
+                    .collect(),
+            },
+            grtx_pipeline::FrameOutcome::Failed { index, error } => {
+                StreamFrame::Failed { index, error }
+            }
         }
     }
 
@@ -564,25 +696,33 @@ impl SceneSetup {
         options: &RunOptions,
         depth: usize,
     ) -> Vec<StreamFrame> {
-        grtx_pipeline::run_stream(source, frames, &self.stream_config(variant, options, depth))
+        self.try_run_stream(source, frames, variant, options, depth)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::run_stream`]: validates the configuration up
+    /// front and returns a typed [`GrtxError`] instead of panicking.
+    /// Under a quarantining [`RunOptions::retry`] policy, frames whose
+    /// stage tasks exhaust their attempts come back as
+    /// [`StreamFrame::Failed`] — in frame order, while unaffected frames
+    /// keep rendering, bit-identical to a fault-free run.
+    pub fn try_run_stream(
+        &self,
+        source: &dyn FrameSource,
+        frames: usize,
+        variant: &PipelineVariant,
+        options: &RunOptions,
+        depth: usize,
+    ) -> Result<Vec<StreamFrame>, GrtxError> {
+        let outcomes = grtx_pipeline::try_run_stream(
+            source,
+            frames,
+            &self.stream_config(variant, options, depth),
+        )?;
+        Ok(outcomes
             .into_iter()
-            .map(|frame| StreamFrame {
-                index: frame.index,
-                rebuilt: frame.rebuilt,
-                results: frame
-                    .reports
-                    .into_iter()
-                    .map(|report| ExperimentResult {
-                        report,
-                        size: frame.size,
-                        height: frame.height,
-                        scale_factor: self.profile.full_gaussian_count as f64
-                            / frame.gaussians.max(1) as f64,
-                        sharding: frame.sharding.clone(),
-                    })
-                    .collect(),
-            })
-            .collect()
+            .map(|outcome| self.stream_frame(outcome))
+            .collect())
     }
 
     /// An [`OrbitSource`] over this setup's scene: `views` cameras per

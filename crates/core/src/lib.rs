@@ -59,7 +59,28 @@
 //! let source = setup.orbit_source(2, 0.3);
 //! let frames = setup.run_stream(&source, 3, &PipelineVariant::grtx(), &RunOptions::default(), 3);
 //! assert_eq!(frames.len(), 3);
-//! assert!(frames[0].rebuilt && !frames[1].rebuilt);
+//! assert!(frames[0].rebuilt() && !frames[1].rebuilt());
+//! ```
+//!
+//! Faults inject deterministically into a stream and quarantined frames
+//! surface in order while later frames keep rendering (`grtx-fault`):
+//!
+//! ```
+//! use grtx::{FaultPlan, FaultSite, PipelineVariant, RetryPolicy, RunOptions, SceneSetup};
+//! use grtx_scene::SceneKind;
+//!
+//! grtx::silence_injected_panics();
+//! let setup = SceneSetup::evaluation(SceneKind::Train, 2000, 32, 42);
+//! let source = setup.orbit_source(1, 0.3);
+//! let options = RunOptions {
+//!     faults: grtx::FaultInjector::with_plan(FaultPlan::new().permanent(FaultSite::Build, 1)),
+//!     retry: RetryPolicy::resilient(2),
+//!     ..Default::default()
+//! };
+//! let frames = setup
+//!     .try_run_stream(&source, 3, &PipelineVariant::grtx(), &options, 3)
+//!     .unwrap();
+//! assert!(!frames[0].is_failed() && frames[1].is_failed() && !frames[2].is_failed());
 //! ```
 
 pub mod experiment;
@@ -76,9 +97,13 @@ pub use trace::{
 };
 
 pub use grtx_bvh::{format_bytes, AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+pub use grtx_fault::{
+    silence_injected_panics, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultRecord, FaultSite,
+    FaultSpec, GrtxError, RetryPolicy,
+};
 pub use grtx_pipeline::{
-    run_sequential, run_stream, FrameResult, FrameSource, FrameSpec, JitterSource, OrbitSource,
-    StreamConfig,
+    run_sequential, run_stream, try_run_stream, FrameOutcome, FrameResult, FrameSource, FrameSpec,
+    JitterSource, OrbitSource, StreamConfig,
 };
 pub use grtx_prof::{ProfReport, Profiler};
 pub use grtx_render::{

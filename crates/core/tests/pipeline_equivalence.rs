@@ -42,9 +42,9 @@ fn assert_stream_matches(label: &str, stream: &[StreamFrame], oracle: &[Vec<Expe
     assert_eq!(stream.len(), oracle.len(), "{label}: frame count");
     for (n, (frame, expected)) in stream.iter().zip(oracle).enumerate() {
         let tag = format!("{label}, frame {n}");
-        assert_eq!(frame.index, n, "{tag}: strict frame order");
-        assert_eq!(frame.results.len(), expected.len(), "{tag}: view count");
-        for (view, (got, want)) in frame.results.iter().zip(expected).enumerate() {
+        assert_eq!(frame.index(), n, "{tag}: strict frame order");
+        assert_eq!(frame.results().len(), expected.len(), "{tag}: view count");
+        for (view, (got, want)) in frame.results().iter().zip(expected).enumerate() {
             let tag = format!("{tag}, view {view}");
             assert_eq!(
                 got.report.image.pixels(),
@@ -146,7 +146,7 @@ fn jitter_stream_matches_sequential_batches() {
     for depth in [1usize, 3] {
         let stream = setup.run_stream(&source, FRAMES, &variant, &options, depth);
         assert_stream_matches(&format!("jitter, depth {depth}"), &stream, &oracle);
-        let rebuilds: Vec<bool> = stream.iter().map(|f| f.rebuilt).collect();
+        let rebuilds: Vec<bool> = stream.iter().map(|f| f.rebuilt()).collect();
         assert_eq!(rebuilds, [true, false, true, false], "depth {depth}");
     }
 }
@@ -181,7 +181,7 @@ fn orbit_stream_frame_zero_is_run_views() {
     let views = setup.run_views(&variant, &options, 2);
     let stream = setup.run_stream(&setup.orbit_source(2, 0.7), 1, &variant, &options, 3);
     assert_eq!(stream.len(), 1);
-    for (got, want) in stream[0].results.iter().zip(&views) {
+    for (got, want) in stream[0].results().iter().zip(&views) {
         assert_eq!(got.report.image.pixels(), want.report.image.pixels());
         assert_eq!(got.report.cycles, want.report.cycles);
         assert_eq!(got.report.stats, want.report.stats);

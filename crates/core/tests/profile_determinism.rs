@@ -90,10 +90,10 @@ fn run_stream_is_bit_identical_with_profiling_on() {
                 let profiled = setup.run_stream(&source, 4, &variant, &on, depth);
                 assert_eq!(plain.len(), profiled.len(), "{what}: frame count");
                 for (fa, fb) in plain.iter().zip(&profiled) {
-                    assert_eq!(fa.index, fb.index, "{what}: frame order");
-                    assert_eq!(fa.rebuilt, fb.rebuilt, "{what}: rebuild decisions");
-                    assert_eq!(fa.results.len(), fb.results.len());
-                    for (a, b) in fa.results.iter().zip(&fb.results) {
+                    assert_eq!(fa.index(), fb.index(), "{what}: frame order");
+                    assert_eq!(fa.rebuilt(), fb.rebuilt(), "{what}: rebuild decisions");
+                    assert_eq!(fa.results().len(), fb.results().len());
+                    for (a, b) in fa.results().iter().zip(fb.results()) {
                         assert_results_identical(a, b, &what);
                     }
                 }
@@ -162,7 +162,7 @@ fn counter_matrix_sums_exactly_to_global_simstats() {
     let frames = setup.run_stream(&source, 4, &variant, &options, 3);
     let mut global = SimStats::default();
     for frame in &frames {
-        for result in &frame.results {
+        for result in frame.results() {
             global.merge(&result.report.stats);
         }
     }

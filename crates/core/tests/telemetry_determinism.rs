@@ -94,10 +94,10 @@ fn run_stream_is_bit_identical_with_telemetry_on() {
                 let traced = setup.run_stream(&source, 4, &variant, &on, depth);
                 assert_eq!(plain.len(), traced.len(), "{what}: frame count");
                 for (fa, fb) in plain.iter().zip(&traced) {
-                    assert_eq!(fa.index, fb.index, "{what}: frame order");
-                    assert_eq!(fa.rebuilt, fb.rebuilt, "{what}: rebuild decisions");
-                    assert_eq!(fa.results.len(), fb.results.len());
-                    for (a, b) in fa.results.iter().zip(&fb.results) {
+                    assert_eq!(fa.index(), fb.index(), "{what}: frame order");
+                    assert_eq!(fa.rebuilt(), fb.rebuilt(), "{what}: rebuild decisions");
+                    assert_eq!(fa.results().len(), fb.results().len());
+                    for (a, b) in fa.results().iter().zip(fb.results()) {
                         assert_results_identical(a, b, &what);
                     }
                 }

@@ -1,0 +1,161 @@
+//! The typed error taxonomy for the workspace's fallible entry points.
+
+use crate::plan::FaultSite;
+use std::fmt;
+
+/// Every way a GRTX entry point can fail without panicking.
+///
+/// Input-validation errors (`Invalid*`) are returned by the `try_*`
+/// variants on `GaussianScene`, `RenderEngine`, and `SceneSetup` before
+/// any work happens. Stage errors (`StageFailed`, `DependencyFailed`)
+/// surface from the pipeline when a quarantined frame exhausts its
+/// retries — carried inside `StreamFrame::Failed` rather than aborting
+/// the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrtxError {
+    /// A scene contains a Gaussian the builder cannot bound: non-finite
+    /// mean, scale, or rotation, a non-positive scale, or an
+    /// out-of-range opacity — or the scene-level parameters (sigma
+    /// bound) are degenerate.
+    InvalidScene {
+        /// Index of the first offending Gaussian, if the failure is
+        /// attributable to one.
+        index: Option<usize>,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A camera the renderer cannot rasterize or trace: zero-resolution,
+    /// non-finite intrinsics, or a projection model unsupported by the
+    /// requested path.
+    InvalidCamera {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A configuration no hardware could execute: zero SMs, zero-lane
+    /// warps, or similarly degenerate simulation parameters.
+    InvalidConfig {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A pipeline stage task for one frame panicked on every permitted
+    /// attempt. The frame is quarantined; the stream continues.
+    StageFailed {
+        /// The stage that exhausted its retries.
+        stage: FaultSite,
+        /// The frame the stage was working on.
+        frame: u64,
+        /// Attempts made (= `RetryPolicy::max_attempts` on exhaustion).
+        attempts: u32,
+        /// The panic payload's message, when it carried one.
+        reason: String,
+    },
+    /// A frame could not run because an earlier frame it depends on
+    /// (for its scene) already failed.
+    DependencyFailed {
+        /// The frame that could not run.
+        frame: u64,
+        /// The failed predecessor it needed.
+        dependency: u64,
+    },
+}
+
+impl fmt::Display for GrtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrtxError::InvalidScene {
+                index: Some(i),
+                reason,
+            } => {
+                write!(f, "invalid scene: gaussian {i}: {reason}")
+            }
+            GrtxError::InvalidScene {
+                index: None,
+                reason,
+            } => {
+                write!(f, "invalid scene: {reason}")
+            }
+            GrtxError::InvalidCamera { reason } => write!(f, "invalid camera: {reason}"),
+            GrtxError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            GrtxError::StageFailed {
+                stage,
+                frame,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "stage {} failed on frame {frame} after {attempts} attempt(s): {reason}",
+                stage.name()
+            ),
+            GrtxError::DependencyFailed { frame, dependency } => write!(
+                f,
+                "frame {frame} skipped: depends on failed frame {dependency}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GrtxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases = [
+            (
+                GrtxError::InvalidScene {
+                    index: Some(3),
+                    reason: "non-finite mean".into(),
+                },
+                "invalid scene: gaussian 3: non-finite mean",
+            ),
+            (
+                GrtxError::InvalidScene {
+                    index: None,
+                    reason: "sigma bound must be finite".into(),
+                },
+                "invalid scene: sigma bound must be finite",
+            ),
+            (
+                GrtxError::InvalidCamera {
+                    reason: "zero resolution".into(),
+                },
+                "invalid camera: zero resolution",
+            ),
+            (
+                GrtxError::InvalidConfig {
+                    reason: "num_sms must be >= 1".into(),
+                },
+                "invalid config: num_sms must be >= 1",
+            ),
+            (
+                GrtxError::StageFailed {
+                    stage: FaultSite::Build,
+                    frame: 2,
+                    attempts: 3,
+                    reason: "injected build fault".into(),
+                },
+                "stage build failed on frame 2 after 3 attempt(s): injected build fault",
+            ),
+            (
+                GrtxError::DependencyFailed {
+                    frame: 4,
+                    dependency: 2,
+                },
+                "frame 4 skipped: depends on failed frame 2",
+            ),
+        ];
+        for (error, expected) in cases {
+            assert_eq!(error.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable_and_clonable() {
+        let e = GrtxError::InvalidCamera {
+            reason: "zero resolution".into(),
+        };
+        assert_eq!(e.clone(), e);
+    }
+}

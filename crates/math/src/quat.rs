@@ -39,6 +39,11 @@ impl Quat {
         Self::new(c, axis.x * s, axis.y * s, axis.z * s)
     }
 
+    /// `true` when all four components are finite.
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
     /// Quaternion norm.
     pub fn length(self) -> f32 {
         (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()

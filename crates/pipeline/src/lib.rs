@@ -28,9 +28,23 @@
 //! running the frames sequentially — at any pipeline depth, any thread
 //! count, and any shard count. Overlap changes wall-clock time only.
 //! The scheduler details and the proof sketch live in [`stream`].
+//!
+//! # Faults and graceful degradation
+//!
+//! [`try_run_stream`] is the fallible entry point: it validates inputs
+//! up front ([`grtx_fault::GrtxError`]) and, when
+//! [`StreamConfig::retry`] enables quarantine, converts stage-task
+//! panics — injected by a [`grtx_fault::FaultPlan`] or genuine — into
+//! per-frame [`FrameOutcome::Failed`] entries after
+//! [`grtx_fault::RetryPolicy`]-bounded retries, while unaffected frames
+//! keep flowing. Recovered streams are bit-identical to fault-free
+//! runs; the determinism contract extends to failure handling.
 
 pub mod source;
 pub mod stream;
 
+pub use grtx_fault::{FaultInjector, FaultPlan, GrtxError, RetryPolicy};
 pub use source::{FrameSource, FrameSpec, JitterSource, OrbitSource};
-pub use stream::{run_sequential, run_stream, FrameResult, StreamConfig};
+pub use stream::{
+    run_sequential, run_stream, try_run_stream, FrameOutcome, FrameResult, StreamConfig,
+};

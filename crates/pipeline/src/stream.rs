@@ -55,6 +55,7 @@
 
 use crate::source::FrameSource;
 use grtx_bvh::{AccelStruct, BoundingPrimitive, BvhSizeReport, LayoutConfig};
+use grtx_fault::{FaultInjector, FaultSite, GrtxError, InjectedFault, RetryPolicy};
 use grtx_prof::Profiler;
 use grtx_render::engine::{CameraLaunch, SmOutcome};
 use grtx_render::renderer::{RenderConfig, RenderReport};
@@ -106,6 +107,20 @@ pub struct StreamConfig {
     /// `(frame << 32) | camera` — byte-identical at every depth, thread,
     /// and shard count, and invisible in every frame result.
     pub profiler: Profiler,
+    /// Fault-injection handle. The default (disabled) handle never
+    /// fires; an enabled one panics stage tasks per its seeded
+    /// [`grtx_fault::FaultPlan`], keyed by the same
+    /// `(frame << 32) | camera` launch keys the profiler uses — so
+    /// injection is schedule-independent and the recovered stream is
+    /// bit-identical to a fault-free run.
+    pub faults: FaultInjector,
+    /// How the pipeline responds to a panicking stage task. The default
+    /// (one attempt, no quarantine) is the legacy behavior: the first
+    /// panic poisons the pipeline and re-raises on the caller. A
+    /// [`RetryPolicy::resilient`] policy retries deterministically and
+    /// quarantines frames that exhaust their attempts as
+    /// [`FrameOutcome::Failed`] while later frames keep flowing.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StreamConfig {
@@ -124,7 +139,18 @@ impl Default for StreamConfig {
             effects: None,
             telemetry: Telemetry::disabled(),
             profiler: Profiler::disabled(),
+            faults: FaultInjector::disabled(),
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+impl StreamConfig {
+    /// Whether this configuration needs the fault/retry machinery at
+    /// all. When it doesn't (the default), the sequential path runs the
+    /// exact legacy code with zero catch points.
+    fn wants_fault_machinery(&self) -> bool {
+        self.faults.is_enabled() || self.retry.attempts() > 1 || self.retry.quarantine
     }
 }
 
@@ -154,6 +180,62 @@ pub struct FrameResult {
     /// metadata (overlapped builds size themselves to the pool's spare
     /// capacity) and are exempt from the determinism contract.
     pub sharding: Option<ShardingSummary>,
+}
+
+/// One frame's outcome under a quarantining [`RetryPolicy`]: rendered,
+/// or failed after exhausting its retries — in frame order either way.
+#[derive(Debug, Clone)]
+pub enum FrameOutcome {
+    /// The frame rendered completely; bit-identical to a fault-free
+    /// run of the same stream.
+    Rendered(FrameResult),
+    /// The frame exhausted its retries (or depended on a frame that
+    /// did) and was quarantined; later frames keep flowing.
+    Failed {
+        /// Frame index in the stream.
+        index: usize,
+        /// Why the frame was quarantined.
+        error: GrtxError,
+    },
+}
+
+impl FrameOutcome {
+    /// Frame index in the stream.
+    pub fn index(&self) -> usize {
+        match self {
+            FrameOutcome::Rendered(result) => result.index,
+            FrameOutcome::Failed { index, .. } => *index,
+        }
+    }
+
+    /// Whether the frame was quarantined.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, FrameOutcome::Failed { .. })
+    }
+
+    /// The quarantine error, if the frame failed.
+    pub fn error(&self) -> Option<&GrtxError> {
+        match self {
+            FrameOutcome::Rendered(_) => None,
+            FrameOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// The rendered result, if the frame succeeded.
+    pub fn rendered(&self) -> Option<&FrameResult> {
+        match self {
+            FrameOutcome::Rendered(result) => Some(result),
+            FrameOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Unwraps into the rendered result or the quarantine error.
+    pub fn into_rendered(self) -> Result<FrameResult, GrtxError> {
+        match self {
+            FrameOutcome::Rendered(result) => Ok(result),
+            FrameOutcome::Failed { error, .. } => Err(error),
+        }
+    }
 }
 
 /// A built acceleration structure plus the accounting a frame reports.
@@ -207,20 +289,60 @@ fn build_structure(scene: &GaussianScene, config: &StreamConfig, build_threads: 
 /// # Panics
 ///
 /// Panics if frame 0's [`FrameSpec`](crate::FrameSpec) carries no scene,
-/// or if the source/build/render work itself panics (worker panics are
-/// forwarded to the caller).
+/// if the source/build/render work itself panics past the retry budget
+/// (worker panics are forwarded to the caller under the default
+/// [`RetryPolicy`]), if the configuration is invalid, or if a
+/// quarantining policy produced a `Failed` frame — callers that expect
+/// failures should use [`try_run_stream`], which surfaces them as
+/// [`FrameOutcome::Failed`] instead.
 pub fn run_stream(
     source: &dyn FrameSource,
     frames: usize,
     config: &StreamConfig,
 ) -> Vec<FrameResult> {
+    try_run_stream(source, frames, config)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_iter()
+        .map(|outcome| outcome.into_rendered().unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// Fallible [`run_stream`]: validates the configuration up front
+/// (returning [`GrtxError::InvalidConfig`] for degenerate GPU shapes)
+/// and, under a quarantining [`RetryPolicy`], yields per-frame
+/// [`FrameOutcome`]s — failed frames surface in order as
+/// [`FrameOutcome::Failed`] while later frames keep rendering.
+///
+/// Zero-fault runs take exactly the legacy code paths and are
+/// bit-identical to [`run_stream`] today; recovered transient-fault
+/// runs are bit-identical to fault-free runs at any depth, thread
+/// count, and shard count.
+///
+/// # Panics
+///
+/// Under the default non-quarantining policy, a stage panic that
+/// exhausts [`RetryPolicy::max_attempts`] still poisons the pipeline
+/// and re-raises the original payload — preserving the legacy contract
+/// (and the panic payload) for callers that want panics.
+pub fn try_run_stream(
+    source: &dyn FrameSource,
+    frames: usize,
+    config: &StreamConfig,
+) -> Result<Vec<FrameOutcome>, GrtxError> {
+    grtx_render::validate_gpu(&config.gpu)?;
     if frames == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if config.depth <= 1 {
-        return run_sequential(source, frames, config);
+        if !config.wants_fault_machinery() {
+            return Ok(run_sequential(source, frames, config)
+                .into_iter()
+                .map(FrameOutcome::Rendered)
+                .collect());
+        }
+        return Ok(resilient_sequential(source, frames, config));
     }
-    Pipeline::new(source, frames, config).run()
+    Ok(Pipeline::new(source, frames, config).run())
 }
 
 /// The sequential per-frame path: update, build, render, one frame at a
@@ -296,6 +418,296 @@ pub fn run_sequential(
     results
 }
 
+/// Outcome of one stage task run under the retry policy.
+enum StageRun<T> {
+    /// The body completed (possibly after retries).
+    Done(T),
+    /// Every permitted attempt panicked; quarantine converted the last
+    /// payload into a typed error (which records the attempt count).
+    Exhausted { error: GrtxError },
+}
+
+/// Builds the `StageFailed` error for an exhausted stage task. Injected
+/// payloads attribute to their true site (a build task probes both the
+/// partition and build sites) and foreign payloads contribute their
+/// message when they carry one.
+fn stage_failed(
+    stage: FaultSite,
+    frame: usize,
+    attempts: u32,
+    payload: &(dyn std::any::Any + Send),
+) -> GrtxError {
+    let (stage, reason) = if let Some(fault) = payload.downcast_ref::<InjectedFault>() {
+        (fault.site, fault.to_string())
+    } else if let Some(message) = payload.downcast_ref::<&str>() {
+        (stage, (*message).to_string())
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        (stage, message.clone())
+    } else {
+        (stage, "stage task panicked".to_string())
+    };
+    GrtxError::StageFailed {
+        stage,
+        frame: frame as u64,
+        attempts,
+        reason,
+    }
+}
+
+/// Runs one stage body under the retry policy: catches panics, counts
+/// attempts (passing the 0-based attempt number to the body so fault
+/// probes see it), and — under quarantine — converts exhaustion into a
+/// typed error. Non-quarantine exhaustion re-raises the original
+/// payload, preserving the legacy panic contract.
+fn run_stage<T>(
+    config: &StreamConfig,
+    recorder: &mut grtx_telemetry::SpanRecorder,
+    stage: FaultSite,
+    frame: usize,
+    body: &mut dyn FnMut(u32) -> T,
+) -> StageRun<T> {
+    let telemetry = &config.telemetry;
+    let mut attempt = 0u32;
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(attempt))) {
+            Ok(value) => return StageRun::Done(value),
+            Err(payload) => {
+                if payload.downcast_ref::<InjectedFault>().is_some() {
+                    telemetry.counter_add("fault.injected", 1);
+                }
+                attempt += 1;
+                if attempt < config.retry.attempts() {
+                    telemetry.counter_add("fault.retries", 1);
+                    recorder.scope("pipeline.retry", frame as u64, |_| ());
+                    continue;
+                }
+                if config.retry.quarantine {
+                    return StageRun::Exhausted {
+                        error: stage_failed(stage, frame, attempt, payload.as_ref()),
+                    };
+                }
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The fault-aware sequential path (`depth ≤ 1` with fault injection,
+/// retries, or quarantine enabled): the same per-frame update → build →
+/// fragment → merge structure as the task graph, probing the same
+/// `(site, key, unit, attempt)` points — so its [`FaultLog`] and its
+/// recovered results are bit-identical to the pipelined scheduler's at
+/// any depth.
+///
+/// [`FaultLog`]: grtx_fault::FaultLog
+fn resilient_sequential(
+    source: &dyn FrameSource,
+    frames: usize,
+    config: &StreamConfig,
+) -> Vec<FrameOutcome> {
+    let engine = RenderEngine::new(config.gpu.clone())
+        .with_threads(config.threads)
+        .with_telemetry(config.telemetry.clone())
+        .with_profiler(config.profiler.clone());
+    let sms = engine.fragments_per_launch();
+    let telemetry = &config.telemetry;
+    let mut recorder = telemetry.recorder("stream-sequential");
+    let mut results: Vec<FrameOutcome> = Vec::with_capacity(frames);
+    let mut scene: Option<Arc<GaussianScene>> = None;
+    let mut built: Option<Arc<Built>> = None;
+    // Root of the most recent scene-chain break: set when an update
+    // fails, cleared when a later frame supplies a fresh scene.
+    let mut broken_dependency: Option<usize> = None;
+
+    let fail = |results: &mut Vec<FrameOutcome>, index: usize, error: GrtxError| {
+        telemetry.counter_add("fault.frames_failed", 1);
+        results.push(FrameOutcome::Failed { index, error });
+    };
+
+    for index in 0..frames {
+        let key = (index as u64) << 32;
+        let frame_start = telemetry.now_us();
+
+        // Update: produce the spec and plan launches. Not an injection
+        // site, but foreign panics quarantine like any other stage.
+        let update = run_stage(config, &mut recorder, FaultSite::Update, index, &mut |_| {
+            let spec = source.frame(index);
+            assert!(
+                spec.scene.is_some() || index > 0,
+                "frame 0 must supply a scene"
+            );
+            let launches: Vec<CameraLaunch> = spec
+                .cameras
+                .iter()
+                .map(|camera| engine.plan_launch(camera, config.effects.as_ref()))
+                .collect();
+            (spec, launches)
+        });
+        let (spec, launches) = match update {
+            StageRun::Done(value) => value,
+            StageRun::Exhausted { error, .. } => {
+                // The frame never resolved a scene; successors that rely
+                // on an unchanged scene inherit the break until a frame
+                // supplies a fresh one.
+                scene = None;
+                built = None;
+                broken_dependency = broken_dependency.or(Some(index));
+                fail(&mut results, index, error);
+                continue;
+            }
+        };
+        let rebuilt = spec.scene.is_some();
+        if let Some(fresh) = spec.scene {
+            scene = Some(fresh);
+            broken_dependency = None;
+        }
+        let Some(frame_scene) = scene.clone() else {
+            let dependency = broken_dependency.unwrap_or(0) as u64;
+            fail(
+                &mut results,
+                index,
+                GrtxError::DependencyFailed {
+                    frame: index as u64,
+                    dependency,
+                },
+            );
+            continue;
+        };
+
+        // Build (or reuse). Probes the partition and build sites — on
+        // reuse frames too, matching the task-graph build task.
+        let reuse = if rebuilt { None } else { built.clone() };
+        let build = run_stage(
+            config,
+            &mut recorder,
+            FaultSite::Build,
+            index,
+            &mut |attempt| {
+                config.faults.probe(FaultSite::Partition, key, 0, attempt);
+                config.faults.probe(FaultSite::Build, key, 0, attempt);
+                match &reuse {
+                    Some(structure) => {
+                        telemetry.counter_add("pipeline.rebuild_skips", 1);
+                        structure.clone()
+                    }
+                    None => {
+                        telemetry.counter_add("pipeline.rebuilds", 1);
+                        Arc::new(build_structure(&frame_scene, config, config.threads))
+                    }
+                }
+            },
+        );
+        let frame_built = match build {
+            StageRun::Done(structure) => structure,
+            StageRun::Exhausted { error, .. } => {
+                // A failed build invalidates only its own frame; the
+                // next reuse frame rebuilds fresh from its scene.
+                built = None;
+                fail(&mut results, index, error);
+                continue;
+            }
+        };
+        built = Some(frame_built.clone());
+
+        // Fragments: every fragment runs to completion or exhaustion —
+        // even after a sibling exhausted — so the set of probed
+        // `(site, key, unit, attempt)` points is schedule-independent.
+        // The lowest exhausted fragment's error is the frame's error.
+        let fragment_count = spec.cameras.len() * sms;
+        let mut outcomes: Vec<Option<SmOutcome>> = (0..fragment_count).map(|_| None).collect();
+        let mut fragment_error: Option<GrtxError> = None;
+        for (fragment, slot) in outcomes.iter_mut().enumerate() {
+            let camera = fragment / sms;
+            let sm = fragment % sms;
+            let run = run_stage(
+                config,
+                &mut recorder,
+                FaultSite::Fragment,
+                index,
+                &mut |attempt| {
+                    config.faults.probe(
+                        FaultSite::Fragment,
+                        key | camera as u64,
+                        sm as u64,
+                        attempt,
+                    );
+                    engine.simulate_fragment(
+                        &frame_built.accel,
+                        &frame_scene,
+                        &config.render,
+                        &launches[camera],
+                        sm,
+                    )
+                },
+            );
+            match run {
+                StageRun::Done(outcome) => *slot = Some(outcome),
+                StageRun::Exhausted { error, .. } => {
+                    fragment_error.get_or_insert(error);
+                }
+            }
+        }
+        if let Some(error) = fragment_error {
+            fail(&mut results, index, error);
+            continue;
+        }
+
+        // Merge. The probe fires before any outcome is consumed, so an
+        // injected merge fault retries against intact inputs; a foreign
+        // panic mid-merge leaves them consumed and the retry exhausts
+        // on the "inputs consumed" panic instead (the task graph fails
+        // such frames immediately for the same reason).
+        let merge = run_stage(
+            config,
+            &mut recorder,
+            FaultSite::Merge,
+            index,
+            &mut |attempt| {
+                config.faults.probe(FaultSite::Merge, key, 0, attempt);
+                spec.cameras
+                    .iter()
+                    .enumerate()
+                    .map(|(cam, camera)| {
+                        let sm_outcomes: Vec<SmOutcome> = outcomes[cam * sms..(cam + 1) * sms]
+                            .iter_mut()
+                            .map(|o| o.take().expect("merge inputs consumed by a failed attempt"))
+                            .collect();
+                        engine.merge_launch_keyed(
+                            key | cam as u64,
+                            &launches[cam],
+                            camera,
+                            &config.render,
+                            sm_outcomes,
+                        )
+                    })
+                    .collect::<Vec<RenderReport>>()
+            },
+        );
+        match merge {
+            StageRun::Done(reports) => {
+                telemetry.record_value(
+                    "pipeline.frame_latency_us",
+                    telemetry.now_us().saturating_sub(frame_start),
+                );
+                telemetry.counter_add("pipeline.frames", 1);
+                results.push(FrameOutcome::Rendered(FrameResult {
+                    index,
+                    gaussians: frame_scene.len(),
+                    rebuilt,
+                    reports,
+                    size: frame_built.size,
+                    height: frame_built.height,
+                    sharding: frame_built.sharding.clone(),
+                }));
+            }
+            StageRun::Exhausted { error, .. } => {
+                fail(&mut results, index, error);
+            }
+        }
+    }
+    results
+}
+
 /// Per-frame pipeline slot, filled stage by stage.
 #[derive(Default)]
 struct Slot {
@@ -318,8 +730,27 @@ struct Slot {
     fragments_done: usize,
     /// Whether the merge task was claimed.
     merge_claimed: bool,
-    /// Whether the merge completed.
+    /// Whether the merge completed (or the frame was sealed as failed).
     merged: bool,
+    /// Attempts already made per stage task (0 until a task panics).
+    update_attempts: u32,
+    build_attempts: u32,
+    merge_attempts: u32,
+    /// Per-fragment attempt counters, sized with `outcomes`.
+    fragment_attempts: Vec<u32>,
+    /// Fragments requeued for retry after a caught panic.
+    requeued: Vec<usize>,
+    /// Fragments that exhausted their attempts (settled without an
+    /// outcome).
+    fragments_exhausted: usize,
+    /// The merge task consumed its inputs; a panic after this point
+    /// cannot retry (the outcomes are gone).
+    merge_inputs_taken: bool,
+    /// Quarantine error plus the canonical (lowest) failing fragment
+    /// index, once the frame has failed. Failed frames keep draining
+    /// their in-flight fragments — so the probe set stays
+    /// schedule-independent — and seal once everything settles.
+    failed: Option<(GrtxError, usize)>,
     /// Telemetry timestamps (µs since the handle's epoch; all `0` with
     /// telemetry disabled): when the frame's update was claimed, when it
     /// completed, and when the build completed — the anchors for the
@@ -343,6 +774,8 @@ enum Task {
         /// capacity at claim time, so an overlapped build soaks up idle
         /// cores instead of oversubscribing busy ones.
         build_threads: usize,
+        /// 0-based attempt number, for fault probes.
+        attempt: u32,
     },
     /// Simulate fragment `fragment` (camera-major) of frame `frame`.
     Fragment {
@@ -351,23 +784,38 @@ enum Task {
         scene: Arc<GaussianScene>,
         built: Arc<Built>,
         launches: Arc<Vec<CameraLaunch>>,
+        /// 0-based attempt number, for fault probes.
+        attempt: u32,
     },
-    /// Merge frame `frame`'s fragments into its result.
+    /// Merge frame `frame`'s fragments into its result. The cameras and
+    /// outcomes stay in the slot until the task's fault probe has
+    /// passed, so an injected merge fault retries against intact
+    /// inputs.
     Merge {
         frame: usize,
         scene: Arc<GaussianScene>,
         built: Arc<Built>,
         launches: Arc<Vec<CameraLaunch>>,
-        cameras: Vec<Camera>,
-        outcomes: Vec<Option<SmOutcome>>,
         scene_changed: bool,
+        /// 0-based attempt number, for fault probes.
+        attempt: u32,
     },
+}
+
+/// Identity of a claimed task, captured before execution so a caught
+/// panic can be attributed, retried, or quarantined.
+#[derive(Clone, Copy)]
+struct TaskId {
+    stage: FaultSite,
+    frame: usize,
+    /// Fragment index for fragment tasks.
+    fragment: Option<usize>,
 }
 
 /// Shared scheduler state, guarded by one mutex.
 struct State {
     slots: Vec<Slot>,
-    results: Vec<Option<FrameResult>>,
+    results: Vec<Option<FrameOutcome>>,
     /// Next frame index the update stage will claim / has completed.
     update_claimed: usize,
     update_done: usize,
@@ -445,7 +893,7 @@ impl<'a> Pipeline<'a> {
         }
     }
 
-    fn run(self) -> Vec<FrameResult> {
+    fn run(self) -> Vec<FrameOutcome> {
         std::thread::scope(|scope| {
             let this = &self;
             let handles: Vec<_> = (0..self.workers)
@@ -465,7 +913,7 @@ impl<'a> Pipeline<'a> {
         state
             .results
             .into_iter()
-            .map(|r| r.expect("every frame merged"))
+            .map(|r| r.expect("every frame settled"))
             .collect()
     }
 
@@ -500,12 +948,16 @@ impl<'a> Pipeline<'a> {
                     }
                 }
             };
-            // Execute outside the lock; a panic poisons the pipeline so
-            // sibling workers drain out, then re-raises. Which worker
-            // runs which task is scheduling-dependent, so span *tracks*
-            // vary run to run — but the per-path span counts are
-            // deterministic (one update/build/merge per frame, one
-            // fragment per (camera, SM)).
+            // Execute outside the lock. A panic is caught at this choke
+            // point and routed through `handle_panic`: retried (within
+            // the retry budget), quarantined to its frame (resilient
+            // policy), or — under the default policy — the pipeline is
+            // poisoned so sibling workers drain out, then the payload
+            // re-raises. Which worker runs which task is
+            // scheduling-dependent, so span *tracks* vary run to run —
+            // but the per-path span counts are deterministic (one
+            // update/build/merge per frame, one fragment per
+            // (camera, SM)).
             let (span, key) = match &task {
                 Task::Update(n) => ("pipeline.update", *n),
                 Task::Build { frame, reuse, .. } => (
@@ -519,16 +971,170 @@ impl<'a> Pipeline<'a> {
                 Task::Fragment { frame, .. } => ("pipeline.fragment", *frame),
                 Task::Merge { frame, .. } => ("pipeline.merge", *frame),
             };
+            let id = match &task {
+                Task::Update(n) => TaskId {
+                    stage: FaultSite::Update,
+                    frame: *n,
+                    fragment: None,
+                },
+                Task::Build { frame, .. } => TaskId {
+                    stage: FaultSite::Build,
+                    frame: *frame,
+                    fragment: None,
+                },
+                Task::Fragment {
+                    frame, fragment, ..
+                } => TaskId {
+                    stage: FaultSite::Fragment,
+                    frame: *frame,
+                    fragment: Some(*fragment),
+                },
+                Task::Merge { frame, .. } => TaskId {
+                    stage: FaultSite::Merge,
+                    frame: *frame,
+                    fragment: None,
+                },
+            };
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 recorder.scope(span, key as u64, |_| self.execute(task));
             }));
             if let Err(payload) = outcome {
-                let mut state = self.lock_state();
-                state.poisoned = true;
-                drop(state);
-                self.ready.notify_all();
-                std::panic::resume_unwind(payload);
+                if self.handle_panic(id, payload) {
+                    recorder.scope("pipeline.retry", id.frame as u64, |_| ());
+                }
             }
+        }
+    }
+
+    /// Handles a stage-task panic caught at the worker choke point:
+    /// requeue the task for a retry (returns `true`), quarantine its
+    /// frame under the resilient policy (returns `false`), or — under
+    /// the default policy — poison the pipeline and re-raise the
+    /// original payload on this worker (diverges, preserving legacy
+    /// fail-fast semantics byte for byte).
+    fn handle_panic(&self, id: TaskId, payload: Box<dyn std::any::Any + Send>) -> bool {
+        let telemetry = &self.config.telemetry;
+        if payload.downcast_ref::<InjectedFault>().is_some() {
+            telemetry.counter_add("fault.injected", 1);
+        }
+        let policy = self.config.retry;
+        let mut state = self.lock_state();
+        state.running -= 1;
+        let (attempts, retryable) = {
+            let slot = &mut state.slots[id.frame];
+            let counter = match (id.stage, id.fragment) {
+                (FaultSite::Fragment, Some(f)) => &mut slot.fragment_attempts[f],
+                (FaultSite::Update, _) => &mut slot.update_attempts,
+                (FaultSite::Merge, _) => &mut slot.merge_attempts,
+                _ => &mut slot.build_attempts,
+            };
+            *counter += 1;
+            // A merge that already consumed its inputs cannot re-run;
+            // injected merge faults fire before the take, so they stay
+            // retryable.
+            (
+                *counter,
+                id.stage != FaultSite::Merge || !slot.merge_inputs_taken,
+            )
+        };
+        if retryable && attempts < policy.attempts() {
+            telemetry.counter_add("fault.retries", 1);
+            match (id.stage, id.fragment) {
+                (FaultSite::Fragment, Some(f)) => state.slots[id.frame].requeued.push(f),
+                (FaultSite::Update, _) => state.update_claimed = id.frame,
+                (FaultSite::Merge, _) => state.slots[id.frame].merge_claimed = false,
+                _ => state.build_claimed = id.frame,
+            }
+            drop(state);
+            self.ready.notify_all();
+            return true;
+        }
+        if policy.quarantine {
+            if id.stage == FaultSite::Fragment {
+                state.slots[id.frame].fragments_exhausted += 1;
+            }
+            let error = stage_failed(id.stage, id.frame, attempts, payload.as_ref());
+            self.fail_frame(
+                &mut state,
+                id.frame,
+                id.stage,
+                id.fragment.unwrap_or(usize::MAX),
+                error,
+            );
+            drop(state);
+            self.ready.notify_all();
+            return false;
+        }
+        state.poisoned = true;
+        drop(state);
+        self.ready.notify_all();
+        std::panic::resume_unwind(payload);
+    }
+
+    /// Quarantines `frame` with `error`, advancing the stage cursor the
+    /// failed task held so successors keep flowing, and seals the frame
+    /// once its in-flight fragments settle. When several fragments of
+    /// one frame exhaust, the lowest fragment index wins the recorded
+    /// error — a schedule-independent choice.
+    fn fail_frame(
+        &self,
+        state: &mut State,
+        frame: usize,
+        stage: FaultSite,
+        fragment: usize,
+        error: GrtxError,
+    ) {
+        {
+            let slot = &mut state.slots[frame];
+            let replace = match &slot.failed {
+                None => {
+                    self.config.telemetry.counter_add("fault.frames_failed", 1);
+                    true
+                }
+                Some((_, existing)) => stage == FaultSite::Fragment && fragment < *existing,
+            };
+            if replace {
+                slot.failed = Some((error, fragment));
+            }
+        }
+        match stage {
+            FaultSite::Update => state.update_done = state.update_done.max(frame + 1),
+            FaultSite::Partition | FaultSite::Build => {
+                state.build_done = state.build_done.max(frame + 1)
+            }
+            FaultSite::Fragment | FaultSite::Merge => {}
+        }
+        self.try_seal(state, frame);
+    }
+
+    /// Seals a failed frame — publishes its `FrameOutcome::Failed` and
+    /// advances the merged prefix — once none of its fragments are
+    /// still unissued, in flight, or awaiting a retry. Draining every
+    /// fragment to settlement before sealing keeps the fault-probe set
+    /// (and thus the `FaultLog`) schedule-independent.
+    fn try_seal(&self, state: &mut State, frame: usize) {
+        let slot = &state.slots[frame];
+        if slot.merged || slot.failed.is_none() {
+            return;
+        }
+        let fragments_pending = slot.built.is_some()
+            && (slot.issued < slot.outcomes.len()
+                || slot.fragments_done + slot.fragments_exhausted < slot.outcomes.len());
+        if fragments_pending {
+            return;
+        }
+        let error = slot
+            .failed
+            .as_ref()
+            .map(|(e, _)| e.clone())
+            .expect("frame failed");
+        state.slots[frame].merged = true;
+        state.results[frame] = Some(FrameOutcome::Failed {
+            index: frame,
+            error,
+        });
+        while state.merged_prefix < self.frames && state.slots[state.merged_prefix].merged {
+            state.merged_prefix += 1;
         }
     }
 
@@ -538,9 +1144,10 @@ impl<'a> Pipeline<'a> {
     fn claim(&self, state: &mut State) -> Option<Task> {
         self.release_slots(state);
         // 1. Merge: any built frame whose fragments all completed.
+        //    Failed frames never merge — they seal via `try_seal`.
         for n in state.merged_prefix..state.build_done {
             let slot = &state.slots[n];
-            if slot.merged || slot.merge_claimed || slot.built.is_none() {
+            if slot.merged || slot.merge_claimed || slot.failed.is_some() || slot.built.is_none() {
                 continue;
             }
             if slot.fragments_done == slot.outcomes.len() {
@@ -551,46 +1158,64 @@ impl<'a> Pipeline<'a> {
                     scene: slot.scene.clone().expect("updated frame has a scene"),
                     built: slot.built.clone().expect("built frame has a structure"),
                     launches: slot.launches.clone().expect("updated frame has launches"),
-                    cameras: std::mem::take(&mut slot.cameras),
-                    outcomes: std::mem::take(&mut slot.outcomes),
                     scene_changed: slot.scene_changed,
+                    attempt: slot.merge_attempts,
                 });
             }
         }
-        // 2. Fragments: oldest built frame with unissued fragments.
+        // 2. Fragments: requeued retries first, then the oldest built
+        //    frame with unissued fragments. Failed frames keep issuing
+        //    so their probe set stays schedule-independent.
         for n in state.merged_prefix..state.build_done {
             let slot = &state.slots[n];
-            if slot.built.is_none() || slot.issued >= slot.outcomes.len() {
+            if slot.built.is_none() {
+                continue;
+            }
+            let has_retry = !slot.requeued.is_empty();
+            if !has_retry && slot.issued >= slot.outcomes.len() {
                 continue;
             }
             let slot = &mut state.slots[n];
-            if slot.issued == 0 {
-                // How long the built structure waited before any render
-                // fragment picked it up.
-                let now = self.config.telemetry.now_us();
-                self.config.telemetry.record_value(
-                    "pipeline.dwell.render_us",
-                    now.saturating_sub(slot.t_build_done),
-                );
-            }
-            let fragment = slot.issued;
-            slot.issued += 1;
+            let fragment = if let Some(fragment) = slot.requeued.pop() {
+                fragment
+            } else {
+                if slot.issued == 0 {
+                    // How long the built structure waited before any
+                    // render fragment picked it up.
+                    let now = self.config.telemetry.now_us();
+                    self.config.telemetry.record_value(
+                        "pipeline.dwell.render_us",
+                        now.saturating_sub(slot.t_build_done),
+                    );
+                }
+                let fragment = slot.issued;
+                slot.issued += 1;
+                fragment
+            };
             return Some(Task::Fragment {
                 frame: n,
                 fragment,
                 scene: slot.scene.clone().expect("updated frame has a scene"),
                 built: slot.built.clone().expect("built frame has a structure"),
                 launches: slot.launches.clone().expect("updated frame has launches"),
+                attempt: slot.fragment_attempts[fragment],
             });
         }
         // 3. Build: in frame order, one at a time, at most one frame
         //    ahead of the oldest unmerged frame (the structure being
         //    rendered plus one queued — the double-buffered handoff).
-        if state.build_claimed == state.build_done
+        while state.build_claimed == state.build_done
             && state.build_claimed < state.update_done
             && state.build_claimed - state.merged_prefix < 2
         {
             let n = state.build_claimed;
+            if state.slots[n].failed.is_some() {
+                // The frame failed at update (or an earlier build
+                // attempt): skip its build so successors keep flowing.
+                state.build_claimed = n + 1;
+                state.build_done = n + 1;
+                continue;
+            }
             state.build_claimed += 1;
             let now = self.config.telemetry.now_us();
             // Queue dwell: update finished → build claimed. Handoff
@@ -612,8 +1237,13 @@ impl<'a> Pipeline<'a> {
                 .scene
                 .clone()
                 .expect("updated frame has a scene");
+            // An unchanged scene reuses the previous structure; if the
+            // previous frame's build was quarantined the reuse source is
+            // gone, so fall back to a fresh (bit-identical) build.
             let reuse = if state.slots[n].scene_changed {
                 None
+            } else if self.config.retry.quarantine {
+                state.slots[n - 1].built.clone()
             } else {
                 Some(
                     state.slots[n - 1]
@@ -627,6 +1257,7 @@ impl<'a> Pipeline<'a> {
                 scene,
                 reuse,
                 build_threads,
+                attempt: state.slots[n].build_attempts,
             });
         }
         // 4. Update: in frame order, one at a time, within the depth
@@ -693,10 +1324,36 @@ impl<'a> Pipeline<'a> {
                     Some(scene) => scene,
                     None => {
                         assert!(n > 0, "frame 0 must supply a scene");
-                        state.slots[n - 1]
-                            .scene
-                            .clone()
-                            .expect("previous frame updated before this one")
+                        match state.slots[n - 1].scene.clone() {
+                            Some(scene) => scene,
+                            None if self.config.retry.quarantine => {
+                                // The predecessor's update was
+                                // quarantined, so this frame's scene is
+                                // unreachable: fail it against the root
+                                // of the dependency chain and move on.
+                                let dependency = match &state.slots[n - 1].failed {
+                                    Some((GrtxError::DependencyFailed { dependency, .. }, _)) => {
+                                        *dependency
+                                    }
+                                    _ => (n - 1) as u64,
+                                };
+                                state.running -= 1;
+                                self.fail_frame(
+                                    &mut state,
+                                    n,
+                                    FaultSite::Update,
+                                    usize::MAX,
+                                    GrtxError::DependencyFailed {
+                                        frame: n as u64,
+                                        dependency,
+                                    },
+                                );
+                                drop(state);
+                                self.ready.notify_all();
+                                return;
+                            }
+                            None => panic!("previous frame updated before this one"),
+                        }
                     }
                 };
                 let slot = &mut state.slots[n];
@@ -705,6 +1362,7 @@ impl<'a> Pipeline<'a> {
                 slot.scene_changed = scene_changed;
                 slot.launches = Some(Arc::new(launches));
                 slot.outcomes = (0..fragment_count).map(|_| None).collect();
+                slot.fragment_attempts = vec![0; fragment_count];
                 slot.t_update_done = self.config.telemetry.now_us();
                 state.update_done = n + 1;
                 state.running -= 1;
@@ -719,7 +1377,15 @@ impl<'a> Pipeline<'a> {
                 scene,
                 reuse,
                 build_threads,
+                attempt,
             } => {
+                // Probe before any side effect, so a retried attempt
+                // replays no counters.
+                let key = (frame as u64) << 32;
+                self.config
+                    .faults
+                    .probe(FaultSite::Partition, key, 0, attempt);
+                self.config.faults.probe(FaultSite::Build, key, 0, attempt);
                 let telemetry = &self.config.telemetry;
                 let built = match reuse {
                     Some(built) => {
@@ -749,9 +1415,16 @@ impl<'a> Pipeline<'a> {
                 scene,
                 built,
                 launches,
+                attempt,
             } => {
                 let camera = fragment / self.sms;
                 let sm = fragment % self.sms;
+                self.config.faults.probe(
+                    FaultSite::Fragment,
+                    ((frame as u64) << 32) | camera as u64,
+                    sm as u64,
+                    attempt,
+                );
                 let outcome = self.engine.simulate_fragment(
                     &built.accel,
                     &scene,
@@ -769,6 +1442,11 @@ impl<'a> Pipeline<'a> {
                 let slot = &mut state.slots[frame];
                 slot.outcomes[fragment] = Some(outcome);
                 slot.fragments_done += 1;
+                // The last settling fragment of a quarantined frame
+                // seals it.
+                if slot.failed.is_some() {
+                    self.try_seal(&mut state, frame);
+                }
                 drop(state);
                 self.config
                     .telemetry
@@ -780,10 +1458,26 @@ impl<'a> Pipeline<'a> {
                 scene,
                 built,
                 launches,
-                cameras,
-                mut outcomes,
                 scene_changed,
+                attempt,
             } => {
+                // Probe first, take second: an injected merge fault
+                // fires while the cameras and outcomes are still in the
+                // slot, so the retry re-runs against intact inputs. A
+                // foreign panic after the take is non-retryable
+                // (`merge_inputs_taken`).
+                self.config
+                    .faults
+                    .probe(FaultSite::Merge, (frame as u64) << 32, 0, attempt);
+                let (cameras, mut outcomes) = {
+                    let mut state = self.lock_state();
+                    let slot = &mut state.slots[frame];
+                    slot.merge_inputs_taken = true;
+                    (
+                        std::mem::take(&mut slot.cameras),
+                        std::mem::take(&mut slot.outcomes),
+                    )
+                };
                 let reports: Vec<RenderReport> = cameras
                     .iter()
                     .enumerate()
@@ -819,7 +1513,7 @@ impl<'a> Pipeline<'a> {
                 let telemetry = &self.config.telemetry;
                 let mut state = self.lock_state();
                 state.running -= 1;
-                state.results[frame] = Some(result);
+                state.results[frame] = Some(FrameOutcome::Rendered(result));
                 state.slots[frame].merged = true;
                 telemetry.record_value(
                     "pipeline.frame_latency_us",

@@ -55,6 +55,7 @@ use crate::image::Image;
 use crate::renderer::{shader_cycles, RenderConfig, RenderReport, SecondaryBreakdown};
 use crate::tracer::{RayTracer, TraceParams};
 use grtx_bvh::{AccelStruct, PacketCacheStats, RayPacket4};
+use grtx_fault::GrtxError;
 use grtx_math::Ray;
 use grtx_prof::{FragmentProfile, FragmentRecorder, Profiler};
 use grtx_scene::{Camera, EffectObjects, GaussianScene};
@@ -233,6 +234,11 @@ impl RenderEngine {
     ///
     /// This is [`Self::render_batch`] at `N = 1` — the batch path is the
     /// only render body.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate inputs ([`Self::try_render`] returns them as
+    /// [`GrtxError`]s instead).
     pub fn render(
         &self,
         accel: &AccelStruct,
@@ -241,9 +247,25 @@ impl RenderEngine {
         effects: Option<&EffectObjects>,
         config: &RenderConfig,
     ) -> RenderReport {
-        self.render_batch(accel, scene, std::slice::from_ref(camera), effects, config)
-            .pop()
-            .expect("one camera yields one report")
+        self.try_render(accel, scene, camera, effects, config)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::render`]: validates the GPU configuration,
+    /// camera, and scene up front and returns a [`GrtxError`] instead of
+    /// panicking. On valid inputs the report is bit-identical to
+    /// [`Self::render`].
+    pub fn try_render(
+        &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        camera: &Camera,
+        effects: Option<&EffectObjects>,
+        config: &RenderConfig,
+    ) -> Result<RenderReport, GrtxError> {
+        let mut reports =
+            self.try_render_batch(accel, scene, std::slice::from_ref(camera), effects, config)?;
+        Ok(reports.pop().expect("one camera yields one report"))
     }
 
     /// Renders every camera of a batch against one shared acceleration
@@ -260,6 +282,11 @@ impl RenderEngine {
     ///
     /// With `effects`, the same effect objects apply to every camera.
     /// Returns one report per camera, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate inputs ([`Self::try_render_batch`] returns
+    /// them as [`GrtxError`]s instead).
     pub fn render_batch(
         &self,
         accel: &AccelStruct,
@@ -268,7 +295,30 @@ impl RenderEngine {
         effects: Option<&EffectObjects>,
         config: &RenderConfig,
     ) -> Vec<RenderReport> {
-        self.render_batch_keyed(0, accel, scene, cameras, effects, config)
+        self.try_render_batch(accel, scene, cameras, effects, config)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::render_batch`]: rejects zero-SM / zero-lane GPU
+    /// configurations ([`GrtxError::InvalidConfig`]), zero-resolution or
+    /// non-finite cameras ([`GrtxError::InvalidCamera`]), and scenes
+    /// carrying non-finite Gaussians ([`GrtxError::InvalidScene`])
+    /// before any work happens. On valid inputs the reports are
+    /// bit-identical to [`Self::render_batch`].
+    pub fn try_render_batch(
+        &self,
+        accel: &AccelStruct,
+        scene: &GaussianScene,
+        cameras: &[Camera],
+        effects: Option<&EffectObjects>,
+        config: &RenderConfig,
+    ) -> Result<Vec<RenderReport>, GrtxError> {
+        validate_gpu(&self.gpu)?;
+        for camera in cameras {
+            validate_camera(camera)?;
+        }
+        scene.validate()?;
+        Ok(self.render_batch_keyed(0, accel, scene, cameras, effects, config))
     }
 
     /// [`Self::render_batch`] with an explicit profiler key base: camera
@@ -902,6 +952,58 @@ fn run_warp_queue<'a>(
     }
 }
 
+/// Rejects GPU configurations no hardware could execute: zero SMs,
+/// zero-size warps, zero SIMT lanes, or an empty warp buffer.
+pub fn validate_gpu(gpu: &GpuConfig) -> Result<(), GrtxError> {
+    let checks = [
+        (gpu.num_sms, "num_sms"),
+        (gpu.warp_size, "warp_size"),
+        (gpu.simt_lanes, "simt_lanes"),
+        (gpu.warp_buffer_size, "warp_buffer_size"),
+    ];
+    for (value, name) in checks {
+        if value == 0 {
+            return Err(GrtxError::InvalidConfig {
+                reason: format!("{name} must be >= 1, got 0"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Rejects cameras the renderer cannot shoot rays through:
+/// zero-resolution images and non-finite or non-positive projection
+/// parameters.
+pub fn validate_camera(camera: &Camera) -> Result<(), GrtxError> {
+    if camera.width == 0 || camera.height == 0 {
+        return Err(GrtxError::InvalidCamera {
+            reason: format!(
+                "resolution must be nonzero, got {}x{}",
+                camera.width, camera.height
+            ),
+        });
+    }
+    match camera.model() {
+        grtx_scene::CameraModel::Pinhole { fov_y } => {
+            if !(fov_y.is_finite() && fov_y > 0.0 && fov_y < std::f32::consts::PI) {
+                return Err(GrtxError::InvalidCamera {
+                    reason: format!("pinhole fov_y must be finite in (0, pi), got {fov_y}"),
+                });
+            }
+        }
+        grtx_scene::CameraModel::Fisheye { max_theta } => {
+            if !(max_theta.is_finite() && max_theta > 0.0) {
+                return Err(GrtxError::InvalidCamera {
+                    reason: format!(
+                        "fisheye max_theta must be finite and positive, got {max_theta}"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -927,6 +1029,44 @@ mod tests {
             grtx_math::Vec3::Y,
         );
         (scene, accel, camera)
+    }
+
+    /// The fallible entry points reject degenerate inputs with typed
+    /// errors — and accept (bit-identically) everything `render` does.
+    #[test]
+    fn try_render_validates_inputs() {
+        let (scene, accel, camera) = tiny_setup();
+        let config = RenderConfig::default();
+        let engine = RenderEngine::new(GpuConfig::default()).with_threads(1);
+
+        let ok = engine
+            .try_render(&accel, &scene, &camera, None, &config)
+            .expect("valid inputs render");
+        let direct = engine.render(&accel, &scene, &camera, None, &config);
+        assert_eq!(ok.image.pixels(), direct.image.pixels());
+        assert_eq!(ok.cycles, direct.cycles);
+
+        let mut flat = camera.clone();
+        flat.height = 0;
+        let err = engine
+            .try_render(&accel, &scene, &flat, None, &config)
+            .unwrap_err();
+        assert!(matches!(err, GrtxError::InvalidCamera { .. }), "{err}");
+
+        let no_sms = RenderEngine::new(GpuConfig {
+            num_sms: 0,
+            ..GpuConfig::default()
+        });
+        let err = no_sms
+            .try_render(&accel, &scene, &camera, None, &config)
+            .unwrap_err();
+        assert!(matches!(err, GrtxError::InvalidConfig { .. }), "{err}");
+
+        // Empty camera batches stay a silent no-op, as before.
+        let none = engine
+            .try_render_batch(&accel, &scene, &[], None, &config)
+            .expect("empty batch is fine");
+        assert!(none.is_empty());
     }
 
     /// Shared immutable scene state must be shareable across workers.

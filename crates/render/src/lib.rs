@@ -34,9 +34,9 @@ pub mod renderer;
 pub mod tracer;
 
 pub use blend::{BlendState, MIN_BLEND_ALPHA};
-pub use engine::{CameraLaunch, RenderEngine, SmOutcome};
+pub use engine::{validate_camera, validate_gpu, CameraLaunch, RenderEngine, SmOutcome};
 pub use image::Image;
 pub use kbuffer::{InsertOutcome, KBuffer};
-pub use raster::{render_rasterized, RasterConfig, RasterReport};
+pub use raster::{render_rasterized, try_render_rasterized, RasterConfig, RasterReport};
 pub use renderer::{render_simulated, RenderConfig, RenderReport, SecondaryBreakdown};
 pub use tracer::{KBufferStorage, RayTracer, RoundReport, RoundStatus, TraceMode, TraceParams};

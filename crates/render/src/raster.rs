@@ -9,6 +9,7 @@
 
 use crate::blend::MIN_BLEND_ALPHA;
 use crate::image::Image;
+use grtx_fault::GrtxError;
 use grtx_math::{Mat3, Vec3};
 use grtx_scene::{Camera, CameraModel, GaussianScene};
 use grtx_sim::GpuConfig;
@@ -67,16 +68,32 @@ struct Splat {
 ///
 /// Panics for non-pinhole cameras — exactly the limitation that
 /// motivates ray-traced Gaussians in the paper.
+/// [`try_render_rasterized`] reports the same limitation as a
+/// [`GrtxError::InvalidCamera`] instead.
 pub fn render_rasterized(
     scene: &GaussianScene,
     camera: &Camera,
     config: &RasterConfig,
     gpu: &GpuConfig,
 ) -> RasterReport {
+    try_render_rasterized(scene, camera, config, gpu).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`render_rasterized`]: returns
+/// [`GrtxError::InvalidCamera`] for projection models the tile
+/// rasterizer cannot handle, instead of panicking.
+pub fn try_render_rasterized(
+    scene: &GaussianScene,
+    camera: &Camera,
+    config: &RasterConfig,
+    gpu: &GpuConfig,
+) -> Result<RasterReport, GrtxError> {
     let CameraModel::Pinhole { fov_y } = camera.model() else {
-        panic!(
-            "rasterization supports only pinhole cameras (use the ray tracer for distorted lenses)"
-        )
+        return Err(GrtxError::InvalidCamera {
+            reason:
+                "rasterization supports only pinhole cameras (use the ray tracer for distorted lenses)"
+                    .to_string(),
+        });
     };
     let (width, height) = (camera.width, camera.height);
     let focal = height as f32 / (2.0 * (fov_y * 0.5).tan());
@@ -219,13 +236,13 @@ pub fn render_rasterized(
     let cycles = (work as f64 / parallelism).ceil() as u64;
     let time_ms = cycles as f64 / (gpu.clock_mhz * 1_000.0);
 
-    RasterReport {
+    Ok(RasterReport {
         time_ms,
         cycles,
         image,
         splats: splats.len() as u64,
         pairs_evaluated,
-    }
+    })
 }
 
 #[cfg(test)]

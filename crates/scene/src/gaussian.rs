@@ -1,6 +1,7 @@
 //! The anisotropic Gaussian primitive and scene container.
 
 use crate::sh::ShCoeffs;
+use grtx_fault::GrtxError;
 use grtx_math::{Aabb, Affine3, Mat3, Quat, Ray, Vec3};
 
 /// Default bounding radius in units of standard deviation.
@@ -120,15 +121,37 @@ impl Gaussian {
         self.sh.eval(dir)
     }
 
-    /// `true` if the parameters are usable (positive scales/opacity,
-    /// finite mean).
+    /// `true` if the parameters are usable (finite mean/scale/rotation,
+    /// strictly positive scales, opacity in `(0, 1]`).
     pub fn is_valid(&self) -> bool {
-        self.mean.is_finite()
-            && self.scale.x > 0.0
-            && self.scale.y > 0.0
-            && self.scale.z > 0.0
-            && self.opacity > 0.0
-            && self.opacity <= 1.0
+        self.invalid_reason().is_none()
+    }
+
+    /// Why this Gaussian is unusable, or `None` when it is valid.
+    ///
+    /// A non-finite mean or scale would silently corrupt every AABB
+    /// union downstream (`NaN.max(x)` propagates), so the builder entry
+    /// points reject them with [`GrtxError::InvalidScene`] instead.
+    pub fn invalid_reason(&self) -> Option<&'static str> {
+        if !self.mean.is_finite() {
+            return Some("non-finite mean");
+        }
+        if !self.scale.is_finite() {
+            return Some("non-finite scale");
+        }
+        if !(self.scale.x > 0.0 && self.scale.y > 0.0 && self.scale.z > 0.0) {
+            return Some("non-positive scale");
+        }
+        if !self.rotation.is_finite() {
+            return Some("non-finite rotation");
+        }
+        if !self.opacity.is_finite() {
+            return Some("non-finite opacity");
+        }
+        if !(self.opacity > 0.0 && self.opacity <= 1.0) {
+            return Some("opacity outside (0, 1]");
+        }
+        None
     }
 }
 
@@ -156,6 +179,63 @@ impl GaussianScene {
     /// default 3σ bounding radius.
     pub fn new(gaussians: Vec<Gaussian>) -> Self {
         Self::with_sigma_bound(gaussians, DEFAULT_SIGMA_BOUND)
+    }
+
+    /// Strict constructor: rejects (rather than silently drops) the
+    /// first invalid Gaussian, with the default 3σ bounding radius.
+    pub fn try_new(gaussians: Vec<Gaussian>) -> Result<Self, GrtxError> {
+        Self::try_with_sigma_bound(gaussians, DEFAULT_SIGMA_BOUND)
+    }
+
+    /// Strict constructor with an explicit bounding radius multiplier.
+    ///
+    /// Returns [`GrtxError::InvalidScene`] naming the first offending
+    /// Gaussian (or the degenerate sigma bound); on success the scene
+    /// is identical to [`GaussianScene::with_sigma_bound`] of the same
+    /// input.
+    pub fn try_with_sigma_bound(
+        gaussians: Vec<Gaussian>,
+        sigma_bound: f32,
+    ) -> Result<Self, GrtxError> {
+        if !(sigma_bound.is_finite() && sigma_bound > 0.0) {
+            return Err(GrtxError::InvalidScene {
+                index: None,
+                reason: format!("sigma bound must be finite and positive, got {sigma_bound}"),
+            });
+        }
+        for (index, gaussian) in gaussians.iter().enumerate() {
+            if let Some(reason) = gaussian.invalid_reason() {
+                return Err(GrtxError::InvalidScene {
+                    index: Some(index),
+                    reason: reason.to_string(),
+                });
+            }
+        }
+        Ok(Self::with_sigma_bound(gaussians, sigma_bound))
+    }
+
+    /// Re-checks the scene's invariants (all Gaussians valid, sane
+    /// sigma bound) — cheap O(n), used by fallible entry points that
+    /// accept scenes from arbitrary construction paths.
+    pub fn validate(&self) -> Result<(), GrtxError> {
+        if !(self.sigma_bound.is_finite() && self.sigma_bound > 0.0) {
+            return Err(GrtxError::InvalidScene {
+                index: None,
+                reason: format!(
+                    "sigma bound must be finite and positive, got {}",
+                    self.sigma_bound
+                ),
+            });
+        }
+        for (index, gaussian) in self.gaussians.iter().enumerate() {
+            if let Some(reason) = gaussian.invalid_reason() {
+                return Err(GrtxError::InvalidScene {
+                    index: Some(index),
+                    reason: reason.to_string(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Creates a scene with an explicit bounding radius multiplier.
@@ -322,6 +402,44 @@ mod tests {
         bad.scale.y = 0.0;
         let scene = GaussianScene::new(vec![test_gaussian(), bad]);
         assert_eq!(scene.len(), 1);
+    }
+
+    /// Regression: infinite scales and non-finite rotations previously
+    /// passed `is_valid` (`inf > 0.0` is true) and fed NaN into the AABB
+    /// union, silently corrupting the builder's bounds.
+    #[test]
+    fn non_finite_gaussians_are_filtered_and_bounds_stay_finite() {
+        let mut inf_scale = test_gaussian();
+        inf_scale.scale.x = f32::INFINITY;
+        let mut nan_rotation = test_gaussian();
+        nan_rotation.rotation = Quat::new(f32::NAN, 0.0, 0.0, 0.0);
+        let mut nan_opacity = test_gaussian();
+        nan_opacity.opacity = f32::NAN;
+        assert_eq!(inf_scale.invalid_reason(), Some("non-finite scale"));
+        assert_eq!(nan_rotation.invalid_reason(), Some("non-finite rotation"));
+        assert_eq!(nan_opacity.invalid_reason(), Some("non-finite opacity"));
+        let scene = GaussianScene::new(vec![test_gaussian(), inf_scale, nan_rotation, nan_opacity]);
+        assert_eq!(scene.len(), 1);
+        let b = scene.bounds();
+        assert!(b.min.is_finite() && b.max.is_finite());
+    }
+
+    #[test]
+    fn try_new_names_the_first_offender() {
+        let mut bad = test_gaussian();
+        bad.mean.z = f32::NAN;
+        let err = GaussianScene::try_new(vec![test_gaussian(), bad]).unwrap_err();
+        assert_eq!(
+            err,
+            GrtxError::InvalidScene {
+                index: Some(1),
+                reason: "non-finite mean".into()
+            }
+        );
+        let ok = GaussianScene::try_new(vec![test_gaussian()]).expect("valid scene");
+        assert_eq!(ok.len(), 1);
+        ok.validate().expect("constructed scenes validate");
+        assert!(GaussianScene::try_with_sigma_bound(vec![], f32::NAN).is_err());
     }
 
     #[test]

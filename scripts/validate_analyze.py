@@ -21,6 +21,7 @@ EXPECTED_LINTS = {
     "float-total-order",
     "fma-containment",
     "no-unscoped-spawn",
+    "panic-containment",
     "waiver-needs-reason",
     "waiver-unknown-lint",
 }

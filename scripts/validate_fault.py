@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Minimal schema check for the grtx-fault-v1 chaos report.
+
+Usage: validate_fault.py <grtx-fault.json>
+
+Validates the report the `fault_chaos` example dumps: the schema tag,
+the canonical ordering of the injection log, internal consistency
+between the log, the telemetry counters, and the per-frame status rows
+(every injection counted, every quarantined frame accounted for), and
+the acceptance flag itself (recovered frames bit-identical to the
+fault-free reference). Exits non-zero with a message on the first
+violation.
+"""
+
+import json
+import sys
+
+SITES = {"partition", "build", "fragment", "merge"}
+
+
+def fail(message: str) -> None:
+    print(f"validate_fault: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path: str) -> None:
+    with open(path) as f:
+        report = json.load(f)
+
+    if report.get("schema") != "grtx-fault-v1":
+        fail(f"unexpected schema tag: {report.get('schema')!r}")
+    frames = report.get("frames")
+    if not isinstance(frames, int) or frames < 1:
+        fail(f"frames must be a positive int: {frames!r}")
+
+    records = report.get("records")
+    if not isinstance(records, list) or not records:
+        fail("records must be a non-empty list — the pinned seed places faults")
+    for record in records:
+        for key in ("site", "frame", "camera", "unit", "attempt", "permanent"):
+            if key not in record:
+                fail(f"record missing {key}: {record}")
+        if record["site"] not in SITES:
+            fail(f"record names unknown site: {record}")
+        if not 0 <= record["frame"] < frames:
+            fail(f"record frame out of range: {record}")
+        if not isinstance(record["permanent"], bool):
+            fail(f"record permanent must be a bool: {record}")
+    keys = [
+        (r["site"], r["frame"], r["camera"], r["unit"], r["attempt"]) for r in records
+    ]
+    order = {site: i for i, site in enumerate(("partition", "build", "fragment", "merge"))}
+    canonical = sorted(keys, key=lambda k: (order[k[0]],) + k[1:])
+    if keys != canonical:
+        fail("records are not in canonical (site, key, unit, attempt) order")
+    if len(set(keys)) != len(keys):
+        fail("duplicate injection records")
+
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        fail("report missing counters section")
+    if counters.get("injected") != len(records):
+        fail(
+            f"counters.injected ({counters.get('injected')}) disagrees with "
+            f"the log ({len(records)} records)"
+        )
+    if counters.get("retries", -1) > len(records):
+        fail("more retries than injections")
+
+    status = report.get("frame_status")
+    if not isinstance(status, list) or len(status) != frames:
+        fail("frame_status must carry one row per frame")
+    failed = 0
+    for i, row in enumerate(status):
+        if row.get("index") != i:
+            fail(f"frame_status out of order at row {i}: {row}")
+        if row.get("status") == "failed":
+            failed += 1
+            if not row.get("error"):
+                fail(f"failed frame carries no error: {row}")
+        elif row.get("status") != "rendered":
+            fail(f"unknown frame status: {row}")
+    if counters.get("frames_failed") != failed:
+        fail(
+            f"counters.frames_failed ({counters.get('frames_failed')}) disagrees "
+            f"with the status rows ({failed} failed)"
+        )
+    if any(r["permanent"] for r in records) and failed == 0:
+        fail("permanent faults recorded but no frame was quarantined")
+
+    if report.get("matches_reference") is not True:
+        fail("stream diverged from the fault-free reference")
+
+    print(
+        "validate_fault: report OK — "
+        f"{len(records)} injection(s) over {frames} frames, "
+        f"{failed} quarantined, recovered frames bit-identical"
+    )
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_fault.py <grtx-fault.json>")
+    validate(sys.argv[1])
+
+
+if __name__ == "__main__":
+    main()
